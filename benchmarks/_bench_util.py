@@ -1,0 +1,33 @@
+"""Shared state for the benchmark harness (see conftest.py)."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+from repro import suite
+from repro.ostr import OstrResult, search_ostr
+
+ARTIFACTS: Dict[str, str] = {}
+_SEARCH_CACHE: Dict[str, OstrResult] = {}
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def run_search_cached(name: str) -> OstrResult:
+    """Search a suite machine once per session (registry options applied)."""
+    if name not in _SEARCH_CACHE:
+        machine = suite.load(name)
+        _SEARCH_CACHE[name] = search_ostr(
+            machine, **suite.entry(name).search_kwargs
+        )
+    return _SEARCH_CACHE[name]
+
+
+def register_artifact(name: str, text: str) -> None:
+    """Record a regenerated table/figure for the end-of-session report."""
+    ARTIFACTS[name] = text
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    safe = name.lower().replace(" ", "_").replace("/", "-")
+    with open(os.path.join(RESULTS_DIR, f"{safe}.txt"), "w", encoding="utf-8") as f:
+        f.write(text + "\n")

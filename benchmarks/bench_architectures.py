@@ -1,0 +1,66 @@
+"""Figures 1-4: architecture comparison (flip-flops, delay, area).
+
+Regenerates the structural claims of Section 1 on a cross-section of suite
+machines: the pipeline structure needs no transparent register (no mux
+delay), no third register, and -- on the machines with nontrivial OSTR
+solutions -- fewer flip-flops than a conventional BIST.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_util import register_artifact
+from repro import experiments, suite
+from repro.suite import paper_example
+
+MACHINES = ["shiftreg", "tav", "dk27", "bbara"]
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("name", MACHINES)
+def test_architecture_build(benchmark, name):
+    machine = suite.load(name)
+    rows = benchmark.pedantic(
+        lambda: experiments.run_architectures(machine), iterations=1, rounds=1
+    )
+    _ROWS.extend(rows)
+    plain, conventional, doubled, pipeline = rows
+    # Fig.2 pays a transparency mux on the system path; Fig.3/4 do not.
+    assert conventional.critical_path == plain.critical_path + 1
+    assert pipeline.critical_path <= conventional.critical_path
+    # Fig.2/3 double the flip-flops; Fig.4 uses the OSTR solution's count.
+    assert conventional.flipflops == 2 * plain.flipflops
+    assert doubled.flipflops == 2 * plain.flipflops
+    assert pipeline.flipflops <= conventional.flipflops
+
+
+def test_pipeline_beats_conventional_on_the_four_paper_machines(benchmark):
+    """Paper: 'In four examples even the number of flipflops ... is
+    smaller than ... a conventional BIST' (bbara, shiftreg, tav, tbk)."""
+
+    def check():
+        out = []
+        for name in ("bbara", "shiftreg", "tav"):
+            machine = suite.load(name)
+            out.append(experiments.run_architectures(machine))
+        return out
+
+    for rows in benchmark.pedantic(check, iterations=1, rounds=1):
+        assert rows[3].flipflops < rows[1].flipflops
+
+
+def test_architecture_report(benchmark):
+    def assemble():
+        rows = list(_ROWS)
+        if not rows:
+            for name in MACHINES:
+                rows.extend(experiments.run_architectures(suite.load(name)))
+        rows.extend(experiments.run_architectures(paper_example()))
+        return rows
+
+    rows = benchmark.pedantic(assemble, iterations=1, rounds=1)
+    register_artifact(
+        "Figures 1-4 (architectures)", experiments.format_architectures(rows)
+    )

@@ -1,0 +1,84 @@
+"""Table 1: OSTR results on the 13-machine benchmark suite.
+
+One benchmark per machine times the full depth-first search (registry
+search options applied: ``dk16``/``dk512``/``s1``/``tbk`` run under node
+limits exactly like the paper's ``tbk`` timeout run).  The assembled table
+is printed at session end next to the published values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_util import register_artifact, run_search_cached
+from repro import experiments, suite
+from repro.ostr import conventional_bist_flipflops, search_ostr
+
+LIGHT = [n for n in suite.names() if n not in ("dk16", "dk512", "s1", "tbk")]
+HEAVY = ["dk512", "s1", "tbk", "dk16"]
+
+_ROWS = {}
+
+
+def _record(name):
+    result = run_search_cached(name)
+    entry = suite.entry(name)
+    solution = result.solution
+    k1, k2 = solution.k1, solution.k2
+    if {k1, k2} == {entry.paper.s1, entry.paper.s2}:
+        k1, k2 = entry.paper.s1, entry.paper.s2
+    _ROWS[name] = experiments.Table1Row(
+        name=name,
+        n_states=result.machine.n_states,
+        s1=k1,
+        s2=k2,
+        conventional_ff=conventional_bist_flipflops(result.machine.n_states),
+        pipeline_ff=solution.flipflops,
+        exact=result.exact,
+        investigated=result.stats.investigated,
+        basis_size=result.stats.basis_size,
+        elapsed_seconds=result.stats.elapsed_seconds,
+        paper=entry.paper,
+    )
+    return result
+
+
+@pytest.mark.parametrize("name", LIGHT)
+def test_table1_light(benchmark, name):
+    machine = suite.load(name)
+    kwargs = suite.entry(name).search_kwargs
+
+    result = benchmark(lambda: search_ostr(machine, **kwargs))
+    _record(name)
+    row = suite.entry(name).paper
+    assert {result.solution.k1, result.solution.k2} == {row.s1, row.s2}
+    assert result.solution.flipflops == row.pipeline_ff
+
+
+@pytest.mark.parametrize("name", HEAVY)
+def test_table1_heavy(benchmark, name):
+    """Node-limited machines: a single timed round (searches take seconds)."""
+    machine = suite.load(name)
+    kwargs = suite.entry(name).search_kwargs
+
+    result = benchmark.pedantic(
+        lambda: search_ostr(machine, **kwargs), iterations=1, rounds=1
+    )
+    _record(name)
+    row = suite.entry(name).paper
+    assert {result.solution.k1, result.solution.k2} == {row.s1, row.s2}
+    assert result.solution.flipflops == row.pipeline_ff
+
+
+def test_table1_report(benchmark):
+    """Assemble and publish the full table (all 13 rows)."""
+
+    def assemble():
+        for name in suite.names():
+            if name not in _ROWS:
+                _record(name)
+        return [_ROWS[name] for name in suite.names()]
+
+    rows = benchmark.pedantic(assemble, iterations=1, rounds=1)
+    register_artifact("Table 1", experiments.format_table1(rows))
+    assert all(row.matches_paper for row in rows)

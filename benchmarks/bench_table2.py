@@ -1,0 +1,90 @@
+"""Table 2: impact of Lemma 1 on the computational effort.
+
+Two parts:
+
+* the Table-2 rows themselves -- total search-tree size ``|V| = 2^|basis|``
+  versus nodes actually investigated under Lemma-1 pruning, for every suite
+  machine (reusing the Table-1 session searches);
+* a measured pruning speed-up -- searching small machines with pruning
+  disabled, which is only feasible because those trees are small (the
+  whole point of the lemma).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_util import register_artifact, run_search_cached
+from repro import experiments, suite
+from repro.ostr import search_ostr
+
+# Machines whose *unpruned* tree is still enumerable (basis <= ~16).
+UNPRUNED_FEASIBLE = ["bbtas", "dk14", "dk15", "dk27", "mc", "shiftreg", "tav"]
+
+
+@pytest.mark.parametrize("name", UNPRUNED_FEASIBLE)
+def test_pruned_search_speed(benchmark, name):
+    """Time the production (pruned) search on the small machines."""
+    machine = suite.load(name)
+    result = benchmark(lambda: search_ostr(machine))
+    assert result.exact
+
+
+@pytest.mark.parametrize("name", UNPRUNED_FEASIBLE)
+def test_unpruned_search_speed(benchmark, name):
+    """Time the search with Lemma 1 disabled (the ablation baseline)."""
+    machine = suite.load(name)
+    result = benchmark(
+        lambda: search_ostr(machine, prune=False, skip_redundant=False)
+    )
+    assert result.exact
+
+
+def _assemble_rows():
+    rows = []
+    for name in suite.names():
+        result = run_search_cached(name)
+        rows.append(
+            experiments.Table2Row(
+                name=name,
+                n_states=result.machine.n_states,
+                basis_size=result.stats.basis_size,
+                tree_size=result.stats.tree_size,
+                investigated=result.stats.investigated,
+                pruned_subtrees=result.stats.pruned_subtrees,
+                exact=result.exact,
+            )
+        )
+    return rows
+
+
+def test_table2_report(benchmark):
+    rows = benchmark.pedantic(_assemble_rows, iterations=1, rounds=1)
+    comparison = []
+    register_artifact("Table 2", experiments.format_table2(rows))
+
+    # Pruned-vs-unpruned node counts where the full tree is enumerable.
+    from repro.reporting import format_table
+
+    for name in UNPRUNED_FEASIBLE:
+        machine = suite.load(name)
+        pruned = search_ostr(machine)
+        unpruned = search_ostr(machine, prune=False, skip_redundant=False)
+        assert pruned.solution.cost_key()[:3] == unpruned.solution.cost_key()[:3]
+        comparison.append(
+            (
+                name,
+                f"2^{pruned.stats.basis_size}",
+                unpruned.stats.investigated,
+                pruned.stats.investigated,
+                f"{unpruned.stats.investigated / max(1, pruned.stats.investigated):.1f}x",
+            )
+        )
+    register_artifact(
+        "Table 2b (pruning ablation)",
+        format_table(
+            ("Name", "|V|", "unpruned nodes", "pruned nodes", "reduction"),
+            comparison,
+            title="Lemma 1 ablation: identical optima, reduced effort",
+        ),
+    )

@@ -1,0 +1,37 @@
+"""Benchmark-harness plumbing.
+
+* ``_bench_util.run_search_cached`` -- one OSTR search per suite machine
+  per session, so Table 1 and Table 2 share the expensive runs;
+* artifact collection -- every bench registers the paper-style table it
+  regenerated; the tables are printed after the benchmark summary and
+  written to ``benchmarks/results/``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_util import ARTIFACTS, RESULTS_DIR, register_artifact
+
+
+@pytest.fixture
+def artifacts():
+    return register_artifact
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not ARTIFACTS:
+        return
+    reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+    if reporter is None:
+        return
+    reporter.section("reproduced paper artifacts")
+    for name in sorted(ARTIFACTS):
+        reporter.write_line("")
+        reporter.write_line(ARTIFACTS[name])
+    reporter.write_line("")
+    reporter.write_line(f"(also written to {RESULTS_DIR}/)")

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Table 1 and Table 2 on the benchmark suite.
+
+The full sweep (all 13 machines, including the node-limited dk16/tbk runs)
+takes a few minutes; pass machine names to restrict it, e.g.::
+
+    python examples/benchmark_sweep.py shiftreg tav dk27 bbara
+"""
+
+import sys
+
+from repro import experiments, suite
+
+
+def main(argv):
+    names = argv or ["bbara", "bbtas", "dk27", "dk512", "mc", "shiftreg", "tav"]
+    unknown = [name for name in names if name not in suite.names()]
+    if unknown:
+        print(f"unknown benchmarks: {unknown}; available: {suite.names()}")
+        return 1
+
+    print(f"Running OSTR on: {', '.join(names)}")
+    print()
+    rows1 = experiments.run_table1(names)
+    print(experiments.format_table1(rows1))
+    print()
+    rows2 = experiments.run_table2(names)
+    print(experiments.format_table2(rows2))
+    print()
+
+    matches = sum(1 for row in rows1 if row.matches_paper)
+    print(f"{matches}/{len(rows1)} rows match the published factor sizes "
+          f"and flip-flop counts.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

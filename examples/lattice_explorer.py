@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Explore the Mm-lattice behind the OSTR search.
+
+The paper's Section 3 reduces the search for symmetric partition pairs to
+the lattice of Mm-pairs (Hartmanis/Stearns).  This example makes that
+machinery visible on the running example: the basis relations, every
+Mm-pair, which of them are symmetric, and the resulting OSTR costs.
+
+Run:  python examples/lattice_explorer.py [suite-machine-name]
+"""
+
+import sys
+
+from repro import suite
+from repro.ostr import OstrSolution
+from repro.partitions import is_symmetric_pair, m_basis, mm_pairs
+from repro.partitions import kernel
+from repro.fsm.equivalence import equivalence_labels
+
+
+def main(argv):
+    name = argv[0] if argv else None
+    if name is None:
+        machine = suite.paper_example()
+    elif name in suite.names():
+        machine = suite.load(name)
+    else:
+        print(f"unknown machine {name!r}; available: {suite.names()}")
+        return 1
+    if machine.n_states > 10:
+        print(f"{machine.name} has {machine.n_states} states; the full "
+              "lattice enumeration is intended for small machines.")
+        return 1
+
+    succ = machine.succ_table
+    print(f"Machine: {machine.name} (|S| = {machine.n_states})")
+    print(machine.transition_table())
+
+    basis = m_basis(succ, machine.states)
+    print(f"\nBasis m(rho_s,t) relations ({len(basis)} distinct, "
+          f"search tree |V| = 2^{len(basis)}):")
+    for part in basis:
+        print(f"  {part!r}")
+
+    pairs = mm_pairs(succ, machine.states)
+    epsilon = equivalence_labels(machine)
+    print(f"\nMm-pairs ({len(pairs)} total):")
+    for pi, theta in pairs:
+        symmetric = is_symmetric_pair(succ, pi, theta)
+        meet_ok = kernel.refines(
+            kernel.meet(pi.labels, theta.labels), epsilon
+        )
+        marks = []
+        if symmetric:
+            marks.append("symmetric")
+        if symmetric and meet_ok:
+            solution = OstrSolution(pi=pi, theta=theta)
+            marks.append(f"OSTR candidate: |S1|={solution.k1}, "
+                         f"|S2|={solution.k2}, FFs={solution.flipflops}")
+        suffix = ("   <- " + "; ".join(marks)) if marks else ""
+        print(f"  M: {pi!r}")
+        print(f"  m: {theta!r}{suffix}")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

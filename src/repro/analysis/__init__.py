@@ -1,0 +1,19 @@
+"""Analysis utilities: SCOAP testability measures, signature aliasing."""
+
+from .scoap import INF, ScoapReport, analyze
+from .aliasing import (
+    AliasingEstimate,
+    empirical_aliasing,
+    register_recommendation,
+    theoretical_aliasing,
+)
+
+__all__ = [
+    "INF",
+    "ScoapReport",
+    "analyze",
+    "AliasingEstimate",
+    "theoretical_aliasing",
+    "empirical_aliasing",
+    "register_recommendation",
+]

@@ -1,0 +1,97 @@
+"""Signature-aliasing analysis for MISR-based response compaction.
+
+A fault escapes a signature-based BIST when the faulty response stream
+compacts to the *same* signature as the fault-free stream ("aliasing").
+For an ``n``-bit MISR with a primitive feedback polynomial and random
+error streams the classic estimate is ``2^-n``; this module provides
+
+* :func:`theoretical_aliasing` -- the closed-form estimate, and
+* :func:`empirical_aliasing`  -- a Monte-Carlo measurement that injects
+  random non-zero error streams into a :class:`~repro.bist.misr.Misr`
+  (by GF(2) linearity the fault-free stream can be taken as all zeros),
+
+plus :func:`register_recommendation`, the design rule the architecture
+layer follows: registers of one or two bits are unacceptable signature
+compactors on their own (25-50% aliasing), which is exactly why the
+pipeline session also observes the response lines in the wider output
+signature register (see ``repro.bist.architectures``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..bist.misr import Misr
+from ..exceptions import BistError
+
+
+def theoretical_aliasing(width: int) -> float:
+    """Asymptotic aliasing probability of an ``width``-bit MISR: 2^-width."""
+    if width < 1:
+        raise BistError("MISR width must be >= 1")
+    return 2.0 ** -width
+
+
+@dataclass(frozen=True)
+class AliasingEstimate:
+    width: int
+    stream_length: int
+    trials: int
+    aliased: int
+
+    @property
+    def rate(self) -> float:
+        return self.aliased / self.trials if self.trials else 0.0
+
+    @property
+    def theoretical(self) -> float:
+        return theoretical_aliasing(self.width)
+
+
+def empirical_aliasing(
+    width: int,
+    stream_length: int = 64,
+    trials: int = 2000,
+    seed: int = 0,
+) -> AliasingEstimate:
+    """Monte-Carlo aliasing rate over random non-zero error streams.
+
+    The MISR is linear over GF(2), so ``sig(response ^ error)`` differs
+    from ``sig(response)`` iff the error stream alone (from the all-zero
+    seed) compacts to zero; only the error stream needs simulating.
+    """
+    if stream_length < 1 or trials < 1:
+        raise BistError("stream_length and trials must be positive")
+    rng = random.Random(seed)
+    space = 1 << width
+    aliased = 0
+    for _ in range(trials):
+        misr = Misr(width)
+        nonzero = False
+        for _ in range(stream_length):
+            error = rng.randrange(space)
+            nonzero = nonzero or error != 0
+            misr.absorb(error)
+        if not nonzero:
+            continue
+        if misr.signature == 0:
+            aliased += 1
+    return AliasingEstimate(
+        width=width, stream_length=stream_length, trials=trials, aliased=aliased
+    )
+
+
+def register_recommendation(width: int) -> str:
+    """The design rule applied by the architecture layer."""
+    rate = theoretical_aliasing(width)
+    if width >= 4:
+        return (
+            f"{width}-bit MISR: expected aliasing {rate:.1%}; acceptable "
+            "as a standalone compactor"
+        )
+    return (
+        f"{width}-bit MISR: expected aliasing {rate:.0%}; too narrow as a "
+        "standalone compactor -- also observe the response lines in the "
+        "session's output signature register"
+    )

@@ -1,0 +1,36 @@
+"""BIST substrate: LFSR/MISR/BILBO registers and the Figure 1-4 architectures."""
+
+from .lfsr import PRIMITIVE_TAPS, Lfsr, measured_period
+from .misr import Misr
+from .bilbo import Bilbo, BilboMode
+from .architectures import (
+    ConventionalBistController,
+    DoubledController,
+    ParallelSelfTestController,
+    PipelineController,
+    PlainController,
+    build_conventional_bist,
+    build_doubled,
+    build_parallel_self_test,
+    build_pipeline,
+    build_plain,
+)
+
+__all__ = [
+    "PRIMITIVE_TAPS",
+    "Lfsr",
+    "measured_period",
+    "Misr",
+    "Bilbo",
+    "BilboMode",
+    "PlainController",
+    "ParallelSelfTestController",
+    "ConventionalBistController",
+    "DoubledController",
+    "PipelineController",
+    "build_plain",
+    "build_parallel_self_test",
+    "build_conventional_bist",
+    "build_doubled",
+    "build_pipeline",
+]

@@ -1,0 +1,310 @@
+"""Command-line interface: ``ostr <subcommand>``.
+
+Subcommands
+-----------
+
+* ``list``                    -- the benchmark suite with paper rows
+* ``info NAME|FILE``          -- machine statistics (suite name or KISS2 file)
+* ``synth NAME|FILE``         -- run the OSTR search; print solution, factor
+                                 tables, and optionally the realized machine
+* ``table1`` / ``table2``     -- regenerate the paper's tables
+* ``arch NAME|FILE``          -- Figure 1-4 architecture comparison
+* ``coverage NAME|FILE``      -- self-test stuck-at fault coverage
+* ``example``                 -- the Figure 5-8 worked example
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from . import experiments, suite
+from .exceptions import ReproError
+from .fsm import MealyMachine, equivalence_partition, is_strongly_connected, kiss
+from .ostr import conventional_bist_flipflops, search_ostr
+
+
+def _load_machine(spec: str) -> MealyMachine:
+    if spec in suite.names():
+        return suite.load(spec)
+    if spec == "paper_example":
+        return suite.paper_example()
+    return kiss.load(spec)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = []
+    for name in suite.names():
+        entry = suite.entry(name)
+        paper = entry.paper
+        rows.append(
+            (
+                name,
+                entry.category,
+                paper.n_states,
+                f"{paper.s1}x{paper.s2}",
+                paper.pipeline_ff,
+                paper.conventional_ff,
+            )
+        )
+    from .reporting import format_table
+
+    print(
+        format_table(
+            ("Name", "category", "|S|", "paper S1xS2", "pipe FF", "conv FF"),
+            rows,
+            title="Benchmark suite (stand-ins for IWLS'93; see DESIGN.md)",
+            align_left=(0, 1),
+        )
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    machine = _load_machine(args.machine)
+    epsilon = equivalence_partition(machine)
+    print(f"name:        {machine.name}")
+    print(f"states:      {machine.n_states}")
+    print(f"inputs:      {machine.n_inputs}")
+    print(f"outputs:     {machine.n_outputs}")
+    print(f"reduced:     {epsilon.is_identity()}")
+    print(f"strongly connected: {is_strongly_connected(machine)}")
+    print(f"conv. BIST flip-flops: {conventional_bist_flipflops(machine.n_states)}")
+    if args.table:
+        print()
+        print(machine.transition_table())
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    machine = _load_machine(args.machine)
+    kwargs = {}
+    if args.node_limit is not None:
+        kwargs["node_limit"] = args.node_limit
+    if args.time_limit is not None:
+        kwargs["time_limit"] = args.time_limit
+    result = search_ostr(
+        machine, policy=args.policy, basis_order=args.basis_order, **kwargs
+    )
+    print(result.summary())
+    solution = result.solution
+    print(f"pi    = {solution.pi!r}")
+    print(f"theta = {solution.theta!r}")
+    realization = result.realization()
+    print()
+    print(realization.factor_tables())
+    if args.output:
+        kiss.dump(realization.machine, args.output)
+        print(f"\nrealization written to {args.output}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    names = args.names if args.names else None
+    print(experiments.format_table1(experiments.run_table1(names)))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    names = args.names if args.names else None
+    print(experiments.format_table2(experiments.run_table2(names)))
+    return 0
+
+
+def _cmd_arch(args: argparse.Namespace) -> int:
+    machine = _load_machine(args.machine)
+    print(experiments.format_architectures(experiments.run_architectures(machine)))
+    return 0
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    machine = _load_machine(args.machine)
+    print(
+        experiments.format_coverage(
+            experiments.run_coverage(machine, cycles=args.cycles)
+        )
+    )
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .bist import build_pipeline
+    from .netlist import controller_to_verilog, netlist_to_blif
+
+    machine = _load_machine(args.machine)
+    result = search_ostr(machine)
+    controller = build_pipeline(result.realization())
+    if args.format == "verilog":
+        text = controller_to_verilog(controller)
+    else:
+        blocks = [
+            netlist_to_blif(controller.c1),
+            netlist_to_blif(controller.c2),
+            netlist_to_blif(controller.lambda_net),
+        ]
+        text = "\n".join(blocks)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"{args.format} written to {args.output} "
+              f"({controller.flipflops} flip-flops, "
+              f"{controller.gate_inputs()} gate inputs)")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_split(args: argparse.Namespace) -> int:
+    from .ostr import search_with_splitting
+
+    machine = _load_machine(args.machine)
+    baseline = search_ostr(machine)
+    outcome = search_with_splitting(machine, max_splits=args.max_splits)
+    print(f"baseline: {baseline.summary()}")
+    print(f"split:    {outcome.summary()}")
+    for step in outcome.steps:
+        print(f"  split {step.state}: {step.flipflops_before} -> "
+              f"{step.flipflops_after} flip-flops")
+    return 0
+
+
+def _cmd_scoap(args: argparse.Namespace) -> int:
+    from .analysis import analyze
+    from .bist import build_pipeline
+    from .faults import all_faults
+    from .reporting import format_table
+
+    machine = _load_machine(args.machine)
+    controller = build_pipeline(search_ostr(machine).realization())
+    rows = []
+    for label, network in (
+        ("C1", controller.c1),
+        ("C2", controller.c2),
+        ("lambda", controller.lambda_net),
+    ):
+        report = analyze(network)
+        for fault, score in report.hardest_faults(
+            all_faults(network), count=args.top
+        ):
+            rows.append((label, fault.describe(), score))
+    print(
+        format_table(
+            ("block", "fault", "SCOAP score"),
+            rows,
+            title=f"Hardest faults of {machine.name}'s pipeline blocks",
+            align_left=(0, 1),
+        )
+    )
+    return 0
+
+
+def _cmd_example(args: argparse.Namespace) -> int:
+    outcome = experiments.run_paper_example()
+    machine = outcome["machine"]
+    print("Figure 5 state transition table:")
+    print(machine.transition_table())
+    print()
+    pi, theta = outcome["published_pair"]
+    print(f"Figure 6 partition pair: pi = {pi!r}, theta = {theta!r}")
+    print(f"search found the published pair: {outcome['found_published_pair']}")
+    print()
+    print("Figure 7 factor tables:")
+    print(outcome["realization"].factor_tables())
+    pipeline = outcome["pipeline"]
+    print()
+    print(
+        f"Figure 8 structure: R1={pipeline.w1} bit, R2={pipeline.w2} bit, "
+        f"{pipeline.gate_inputs()} gate inputs, depth {pipeline.critical_path()}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ostr",
+        description="Synthesis of self-testable controllers (DATE 1994 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list the benchmark suite").set_defaults(
+        handler=_cmd_list
+    )
+
+    info = commands.add_parser("info", help="machine statistics")
+    info.add_argument("machine", help="suite name or KISS2 file path")
+    info.add_argument("--table", action="store_true", help="print the STT")
+    info.set_defaults(handler=_cmd_info)
+
+    synth = commands.add_parser("synth", help="run the OSTR search")
+    synth.add_argument("machine", help="suite name or KISS2 file path")
+    synth.add_argument("--policy", default="paper", choices=("paper", "extended"))
+    synth.add_argument(
+        "--basis-order",
+        default="sorted",
+        choices=("sorted", "coarse_first", "fine_first"),
+    )
+    synth.add_argument("--node-limit", type=int, default=None)
+    synth.add_argument("--time-limit", type=float, default=None)
+    synth.add_argument(
+        "-o", "--output", default=None, help="write the realization as KISS2"
+    )
+    synth.set_defaults(handler=_cmd_synth)
+
+    table1 = commands.add_parser("table1", help="regenerate Table 1")
+    table1.add_argument("names", nargs="*", help="subset of benchmarks")
+    table1.set_defaults(handler=_cmd_table1)
+
+    table2 = commands.add_parser("table2", help="regenerate Table 2")
+    table2.add_argument("names", nargs="*", help="subset of benchmarks")
+    table2.set_defaults(handler=_cmd_table2)
+
+    arch = commands.add_parser("arch", help="Figure 1-4 architecture comparison")
+    arch.add_argument("machine", help="suite name or KISS2 file path")
+    arch.set_defaults(handler=_cmd_arch)
+
+    coverage = commands.add_parser("coverage", help="self-test fault coverage")
+    coverage.add_argument("machine", help="suite name or KISS2 file path")
+    coverage.add_argument("--cycles", type=int, default=None)
+    coverage.set_defaults(handler=_cmd_coverage)
+
+    commands.add_parser(
+        "example", help="reproduce the Figure 5-8 worked example"
+    ).set_defaults(handler=_cmd_example)
+
+    export = commands.add_parser(
+        "export", help="export the pipeline controller (Verilog/BLIF)"
+    )
+    export.add_argument("machine", help="suite name or KISS2 file path")
+    export.add_argument("--format", choices=("verilog", "blif"), default="verilog")
+    export.add_argument("-o", "--output", default=None)
+    export.set_defaults(handler=_cmd_export)
+
+    split = commands.add_parser(
+        "split", help="OSTR with state splitting (the paper's future work)"
+    )
+    split.add_argument("machine", help="suite name or KISS2 file path")
+    split.add_argument("--max-splits", type=int, default=2)
+    split.set_defaults(handler=_cmd_split)
+
+    scoap = commands.add_parser(
+        "scoap", help="SCOAP testability ranking of the pipeline blocks"
+    )
+    scoap.add_argument("machine", help="suite name or KISS2 file path")
+    scoap.add_argument("--top", type=int, default=5)
+    scoap.set_defaults(handler=_cmd_scoap)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""State/input/output encodings and bit-level machine views."""
+
+from .codes import (
+    Encoding,
+    binary_encoding,
+    code_width,
+    gray_encoding,
+    make_encoding,
+    one_hot_encoding,
+)
+from .encoded import (
+    EncodedMachine,
+    EncodedRealization,
+    TruthTable,
+    encode_machine,
+    encode_realization,
+)
+
+__all__ = [
+    "Encoding",
+    "code_width",
+    "binary_encoding",
+    "gray_encoding",
+    "one_hot_encoding",
+    "make_encoding",
+    "TruthTable",
+    "EncodedMachine",
+    "EncodedRealization",
+    "encode_machine",
+    "encode_realization",
+]

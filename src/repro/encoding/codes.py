@@ -1,0 +1,117 @@
+"""Symbol-to-bit-vector encodings (state assignment substrate).
+
+After the OSTR step, "state coding and logic minimization are then applied
+to this realization" (Section 1 of the paper).  This module provides the
+code styles used by the synthesis flow: minimum-length binary, Gray, and
+one-hot, plus a pluggable :class:`Encoding` container that records the
+symbol <-> bit-vector bijection.
+
+Bit-vectors are strings over ``"01"`` (MSB first), the representation used
+throughout the logic-synthesis layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Sequence, Tuple
+
+from ..exceptions import EncodingError
+
+
+def code_width(n_symbols: int) -> int:
+    """Minimum bits distinguishing ``n_symbols`` values (0 for one symbol)."""
+    if n_symbols < 1:
+        raise EncodingError("cannot encode an empty symbol set")
+    return max(0, (n_symbols - 1).bit_length())
+
+
+@dataclass(frozen=True)
+class Encoding:
+    """An injective mapping from symbols to fixed-width bit-vectors."""
+
+    symbols: Tuple[Hashable, ...]
+    codes: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.symbols) != len(self.codes):
+            raise EncodingError("symbols and codes differ in length")
+        if len(set(self.symbols)) != len(self.symbols):
+            raise EncodingError("duplicate symbols")
+        if len(set(self.codes)) != len(self.codes):
+            raise EncodingError("codes are not injective")
+        widths = {len(code) for code in self.codes}
+        if len(widths) > 1:
+            raise EncodingError(f"codes have mixed widths: {sorted(widths)}")
+        for code in self.codes:
+            if not set(code) <= {"0", "1"}:
+                raise EncodingError(f"invalid code {code!r}")
+
+    @property
+    def width(self) -> int:
+        return len(self.codes[0]) if self.codes else 0
+
+    def encode(self, symbol: Hashable) -> str:
+        try:
+            return self.codes[self.symbols.index(symbol)]
+        except ValueError as exc:
+            raise EncodingError(f"unknown symbol {symbol!r}") from exc
+
+    def decode(self, code: str) -> Hashable:
+        try:
+            return self.symbols[self.codes.index(code)]
+        except ValueError as exc:
+            raise EncodingError(f"code {code!r} does not map to a symbol") from exc
+
+    def mapping(self) -> Dict[Hashable, str]:
+        return dict(zip(self.symbols, self.codes))
+
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+
+def binary_encoding(symbols: Sequence[Hashable]) -> Encoding:
+    """Minimum-width binary encoding in symbol order (natural assignment)."""
+    symbols = tuple(symbols)
+    width = code_width(len(symbols))
+    codes = tuple(format(index, f"0{width}b") if width else "" for index in range(len(symbols)))
+    return Encoding(symbols, codes)
+
+
+def gray_encoding(symbols: Sequence[Hashable]) -> Encoding:
+    """Minimum-width Gray-code encoding (adjacent symbols differ in one bit)."""
+    symbols = tuple(symbols)
+    width = code_width(len(symbols))
+    codes = tuple(
+        format(index ^ (index >> 1), f"0{width}b") if width else ""
+        for index in range(len(symbols))
+    )
+    return Encoding(symbols, codes)
+
+
+def one_hot_encoding(symbols: Sequence[Hashable]) -> Encoding:
+    """One flip-flop per symbol (used for encoding-style ablations)."""
+    symbols = tuple(symbols)
+    n = len(symbols)
+    codes = tuple(
+        "".join("1" if position == index else "0" for position in range(n))
+        for index in range(n)
+    )
+    return Encoding(symbols, codes)
+
+
+_STYLES = {
+    "binary": binary_encoding,
+    "gray": gray_encoding,
+    "onehot": one_hot_encoding,
+}
+
+
+def make_encoding(symbols: Sequence[Hashable], style: str = "binary") -> Encoding:
+    """Encoding factory by style name (``binary``, ``gray``, ``onehot``)."""
+    try:
+        factory = _STYLES[style]
+    except KeyError as exc:
+        raise EncodingError(
+            f"unknown encoding style {style!r}; choose from {sorted(_STYLES)}"
+        ) from exc
+    return factory(symbols)

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single exception type at the API boundary.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class PartitionError(ReproError):
+    """Invalid partition construction or an operation on mismatched universes."""
+
+
+class FsmError(ReproError):
+    """Invalid finite state machine specification or operation."""
+
+
+class KissFormatError(FsmError):
+    """Malformed KISS2 input."""
+
+
+class RealizationError(FsmError):
+    """A claimed realization does not satisfy Definition 3 of the paper."""
+
+
+class SearchError(ReproError):
+    """Invalid configuration or internal failure of the OSTR search."""
+
+
+class EncodingError(ReproError):
+    """Invalid state/input/output encoding."""
+
+
+class LogicError(ReproError):
+    """Invalid cube, cover, or minimization request."""
+
+
+class NetlistError(ReproError):
+    """Invalid netlist construction or evaluation."""
+
+
+class BistError(ReproError):
+    """Invalid BIST register configuration or session."""
+
+
+class FaultError(ReproError):
+    """Invalid fault specification or simulation request."""

@@ -1,0 +1,25 @@
+"""Single-stuck-at fault model, fault simulation, and BIST coverage."""
+
+from .stuck_at import all_faults, branch_faults, collapse_trivial, stem_faults
+from .simulator import (
+    CombinationalCoverage,
+    detects,
+    exhaustive_patterns,
+    pack_patterns,
+    simulate_patterns,
+)
+from .coverage import CoverageReport, measure_coverage
+
+__all__ = [
+    "stem_faults",
+    "branch_faults",
+    "all_faults",
+    "collapse_trivial",
+    "pack_patterns",
+    "detects",
+    "simulate_patterns",
+    "exhaustive_patterns",
+    "CombinationalCoverage",
+    "CoverageReport",
+    "measure_coverage",
+]

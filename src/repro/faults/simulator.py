@@ -1,0 +1,98 @@
+"""Pattern-parallel combinational fault simulation (PPSFP).
+
+For a *combinational* block under an explicit pattern set, faults are
+simulated bit-parallel: all patterns are packed into one big integer per
+net, the netlist is evaluated once fault-free and once per fault, and a
+fault is detected iff any output bit position differs.  This is the
+workhorse behind testability statistics of individual blocks (the session-
+based coverage of :mod:`repro.faults.coverage` is serial because BIST
+pattern sources are sequential).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import FaultError
+from ..netlist.netlist import Fault, Netlist
+from .stuck_at import all_faults
+
+
+def pack_patterns(patterns: Sequence[str], input_names: Sequence[str]) -> Tuple[Dict[str, int], int]:
+    """Pack pattern strings (one char per input, MSB-first order of names).
+
+    Returns ``(values, mask)`` where ``values[name]`` holds bit ``k`` =
+    value of input ``name`` under pattern ``k``.
+    """
+    values = {name: 0 for name in input_names}
+    for position, pattern in enumerate(patterns):
+        if len(pattern) != len(input_names) or not set(pattern) <= {"0", "1"}:
+            raise FaultError(f"invalid pattern {pattern!r}")
+        for name, ch in zip(input_names, pattern):
+            if ch == "1":
+                values[name] |= 1 << position
+    mask = (1 << len(patterns)) - 1 if patterns else 0
+    return values, mask
+
+
+@dataclass(frozen=True)
+class CombinationalCoverage:
+    """Outcome of a pattern-parallel fault simulation of one block."""
+
+    netlist: str
+    n_patterns: int
+    total: int
+    detected: int
+    undetected: Tuple[Fault, ...]
+
+    @property
+    def coverage(self) -> float:
+        return self.detected / self.total if self.total else 1.0
+
+
+def detects(
+    netlist: Netlist,
+    fault: Fault,
+    packed_inputs: Dict[str, int],
+    mask: int,
+    reference: Optional[Dict[str, int]] = None,
+) -> bool:
+    """Does the pattern set expose the fault at any primary output?"""
+    if reference is None:
+        reference = netlist.evaluate_outputs(packed_inputs, mask=mask)
+    faulty = netlist.evaluate_outputs(packed_inputs, mask=mask, fault=fault)
+    return any(faulty[net] != reference[net] for net in netlist.outputs)
+
+
+def simulate_patterns(
+    netlist: Netlist,
+    patterns: Sequence[str],
+    faults: Optional[Sequence[Fault]] = None,
+) -> CombinationalCoverage:
+    """Fault coverage of an explicit pattern set on a combinational block."""
+    if faults is None:
+        faults = all_faults(netlist)
+    packed, mask = pack_patterns(patterns, netlist.inputs)
+    reference = netlist.evaluate_outputs(packed, mask=mask)
+    undetected: List[Fault] = []
+    detected = 0
+    for fault in faults:
+        if detects(netlist, fault, packed, mask, reference):
+            detected += 1
+        else:
+            undetected.append(fault)
+    return CombinationalCoverage(
+        netlist=netlist.name,
+        n_patterns=len(patterns),
+        total=len(faults),
+        detected=detected,
+        undetected=tuple(undetected),
+    )
+
+
+def exhaustive_patterns(n_inputs: int) -> List[str]:
+    """All input patterns of a block (pseudo-exhaustive BIST reference)."""
+    if n_inputs > 20:
+        raise FaultError(f"{n_inputs} inputs is too wide for exhaustive patterns")
+    return [format(value, f"0{n_inputs}b") for value in range(2 ** n_inputs)]

@@ -1,0 +1,58 @@
+"""Single-stuck-at fault universe for gate-level netlists.
+
+The fault list is the classic uncollapsed single-stuck-at model:
+
+* a stem fault (stuck-at-0 / stuck-at-1) on every net -- primary inputs
+  and every gate output, and
+* a branch fault on every gate input pin, which is what makes fanout
+  branches independently testable.
+
+Fault collapsing (equivalence/dominance) is deliberately not applied: the
+coverage numbers in the benches are over the raw universe, which keeps
+them conservative and easy to audit.  :func:`collapse_trivial` is provided
+for the tests and benches that want the cheap single-fanout collapse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..netlist.netlist import Fault, Netlist
+
+
+def stem_faults(netlist: Netlist) -> List[Fault]:
+    """Stuck-at-0/1 on every net of the netlist."""
+    faults = []
+    for net in netlist.nets():
+        faults.append(Fault(net=net, stuck_at=0))
+        faults.append(Fault(net=net, stuck_at=1))
+    return faults
+
+
+def branch_faults(netlist: Netlist) -> List[Fault]:
+    """Stuck-at-0/1 on every gate input pin."""
+    faults = []
+    for index, gate in enumerate(netlist.gates):
+        for pin, net in enumerate(gate.inputs):
+            faults.append(Fault(net=net, stuck_at=0, gate_index=index, pin=pin))
+            faults.append(Fault(net=net, stuck_at=1, gate_index=index, pin=pin))
+    return faults
+
+
+def all_faults(netlist: Netlist) -> List[Fault]:
+    """The full uncollapsed single-stuck-at universe."""
+    return stem_faults(netlist) + branch_faults(netlist)
+
+
+def collapse_trivial(netlist: Netlist, faults: List[Fault]) -> List[Fault]:
+    """Drop branch faults on single-fanout nets (equivalent to their stems)."""
+    fanout: Dict[str, int] = {}
+    for gate in netlist.gates:
+        for net in gate.inputs:
+            fanout[net] = fanout.get(net, 0) + 1
+    kept = []
+    for fault in faults:
+        if not fault.is_stem and fanout.get(fault.net, 0) <= 1:
+            continue
+        kept.append(fault)
+    return kept

@@ -1,0 +1,65 @@
+"""Finite state machine substrate: model, I/O, analysis, realization checks."""
+
+from .machine import MealyMachine
+from .equivalence import (
+    equivalence_partition,
+    equivalent_states,
+    is_reduced,
+    minimized,
+)
+from .kiss import dump, dumps, load, loads
+from .operations import (
+    find_isomorphism,
+    is_isomorphic,
+    product,
+    quotient,
+    relabel_states,
+)
+from .reachability import (
+    is_connected,
+    is_strongly_connected,
+    reachable_states,
+    strongly_connected_components,
+)
+from .realization import (
+    RealizationWitness,
+    behaviourally_realizes,
+    check_realization,
+    is_realization,
+)
+from .random_machines import random_mealy, random_reduced_mealy
+from .simulate import Trace, io_equivalent, output_sequence, simulate
+from .dot import machine_to_dot, pair_to_dot
+
+__all__ = [
+    "MealyMachine",
+    "equivalence_partition",
+    "equivalent_states",
+    "is_reduced",
+    "minimized",
+    "load",
+    "loads",
+    "dump",
+    "dumps",
+    "quotient",
+    "product",
+    "relabel_states",
+    "find_isomorphism",
+    "is_isomorphic",
+    "reachable_states",
+    "is_connected",
+    "is_strongly_connected",
+    "strongly_connected_components",
+    "RealizationWitness",
+    "check_realization",
+    "is_realization",
+    "behaviourally_realizes",
+    "random_mealy",
+    "random_reduced_mealy",
+    "Trace",
+    "simulate",
+    "output_sequence",
+    "io_equivalent",
+    "machine_to_dot",
+    "pair_to_dot",
+]

@@ -1,0 +1,113 @@
+"""State equivalence and machine minimization.
+
+The paper's Theorem 1 requires the condition ``pi ∩ theta ⊆ epsilon`` where
+``epsilon`` denotes *the equivalence of states*: ``s`` and ``t`` are
+equivalent iff every input sequence produces the same output sequence from
+both.  For fully specified machines this is computed by Moore-style
+partition refinement: start from the partition induced by the output rows
+``lambda(s, .)`` and refine by successor-block signatures until stable.
+
+The fixpoint has a classical characterisation in the language of the paper:
+``epsilon`` is the coarsest partition ``p`` that refines the output-row
+partition and satisfies ``(p, p)`` partition-pair-ness (it has the
+substitution property).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..partitions import Partition
+from ..partitions import kernel
+from .machine import MealyMachine
+
+
+def equivalence_labels(machine: MealyMachine) -> Tuple[int, ...]:
+    """Canonical label tuple of the state-equivalence partition ``epsilon``."""
+    succ = machine.succ_table
+    out = machine.out_table
+    n = machine.n_states
+
+    labels = _rows_as_keys(out)
+    while True:
+        signature_map: Dict[Tuple[int, ...], int] = {}
+        refined: List[int] = []
+        for s in range(n):
+            signature = (labels[s],) + tuple(labels[t] for t in succ[s])
+            block = signature_map.get(signature)
+            if block is None:
+                block = len(signature_map)
+                signature_map[signature] = block
+            refined.append(block)
+        refined_tuple = kernel.canonical(refined)
+        if refined_tuple == labels:
+            return labels
+        labels = refined_tuple
+
+
+def _rows_as_keys(out) -> Tuple[int, ...]:
+    """Initial partition: group states by identical output rows."""
+    mapping: Dict[Tuple[int, ...], int] = {}
+    labels = []
+    for row in out:
+        key = tuple(row)
+        block = mapping.get(key)
+        if block is None:
+            block = len(mapping)
+            mapping[key] = block
+        labels.append(block)
+    return tuple(labels)
+
+
+def equivalence_partition(machine: MealyMachine) -> Partition:
+    """The state-equivalence relation ``epsilon`` as a :class:`Partition`."""
+    return Partition(machine.states, equivalence_labels(machine))
+
+
+def is_reduced(machine: MealyMachine) -> bool:
+    """A machine is reduced iff no two distinct states are equivalent."""
+    return kernel.num_blocks(equivalence_labels(machine)) == machine.n_states
+
+
+def minimized(machine: MealyMachine, name: str = None) -> MealyMachine:
+    """The reduced quotient machine ``M / epsilon``.
+
+    Block representatives are the first state of each block, and the block
+    of the original reset state becomes the new reset state.  The quotient
+    is well defined because ``epsilon`` has the substitution property and
+    equivalent states have identical output rows by construction.
+    """
+    labels = equivalence_labels(machine)
+    n_blocks = kernel.num_blocks(labels)
+    if n_blocks == machine.n_states:
+        return machine.renamed(name if name is not None else machine.name)
+
+    representative = [-1] * n_blocks
+    for s in range(machine.n_states):
+        if representative[labels[s]] == -1:
+            representative[labels[s]] = s
+
+    block_states = tuple(machine.states[representative[b]] for b in range(n_blocks))
+    succ = []
+    out = []
+    for b in range(n_blocks):
+        s = representative[b]
+        succ.append([labels[t] for t in machine.succ_table[s]])
+        out.append(list(machine.out_table[s]))
+    return MealyMachine.from_tables(
+        name if name is not None else f"{machine.name}_min",
+        block_states,
+        machine.inputs,
+        machine.outputs,
+        succ,
+        out,
+        reset_state=machine.states[
+            representative[labels[machine.state_index(machine.reset_state)]]
+        ],
+    )
+
+
+def equivalent_states(machine: MealyMachine, s: str, t: str) -> bool:
+    """Are two states of the same machine equivalent?"""
+    labels = equivalence_labels(machine)
+    return labels[machine.state_index(s)] == labels[machine.state_index(t)]

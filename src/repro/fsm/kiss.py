@@ -1,0 +1,267 @@
+"""KISS2 reader/writer for Mealy machines.
+
+KISS2 is the FSM interchange format of the MCNC/IWLS benchmark sets the
+paper evaluates on.  A file consists of header directives and one line per
+transition::
+
+    .i 1          # number of input bits
+    .o 1          # number of output bits
+    .s 8          # number of states (optional, derived otherwise)
+    .p 16         # number of transition lines (optional)
+    .r st0        # reset state (optional; default: first mentioned state)
+    0 st0 st4 0   # <input-bits> <state> <next-state> <output-bits>
+    ...
+    .e            # optional end marker
+
+Input fields may contain ``-`` (don't care); such lines are expanded into
+all matching fully specified input vectors.  Since this library follows the
+paper in requiring *fully specified* machines, the parser checks that after
+expansion every (state, input vector) occurs exactly once.
+
+Input and output bit-vectors are kept as opaque string symbols on the
+machine (e.g. input alphabet ``("00", "01", "10", "11")``), which preserves
+round-tripping and matches how state-of-the-art tools treat KISS symbols.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Iterable, List, Tuple
+
+from ..exceptions import KissFormatError
+from .machine import MealyMachine
+
+
+def _expand_dont_cares(field: str) -> Iterable[str]:
+    """All fully specified bit-vectors matching ``field`` (may contain '-')."""
+    positions = [i for i, ch in enumerate(field) if ch == "-"]
+    if not positions:
+        yield field
+        return
+    chars = list(field)
+    for bits in product("01", repeat=len(positions)):
+        for position, bit in zip(positions, bits):
+            chars[position] = bit
+        yield "".join(chars)
+
+
+def loads(text: str, name: str = "kiss") -> MealyMachine:
+    """Parse KISS2 text into a fully specified :class:`MealyMachine`."""
+    n_input_bits = None
+    n_output_bits = None
+    declared_states = None
+    declared_products = None
+    reset_state = None
+    transitions: Dict[Tuple[str, str], Tuple[str, str]] = {}
+    state_order: List[str] = []
+    line_count = 0
+
+    def note_state(state: str) -> None:
+        if state not in seen_states:
+            seen_states.add(state)
+            state_order.append(state)
+
+    seen_states = set()
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            tokens = line.split()
+            directive = tokens[0]
+            if directive == ".e":
+                break
+            if directive in (".i", ".o", ".s", ".p"):
+                if len(tokens) != 2 or not tokens[1].isdigit():
+                    raise KissFormatError(
+                        f"line {line_number}: malformed directive {line!r}"
+                    )
+                value = int(tokens[1])
+                if directive == ".i":
+                    n_input_bits = value
+                elif directive == ".o":
+                    n_output_bits = value
+                elif directive == ".s":
+                    declared_states = value
+                else:
+                    declared_products = value
+            elif directive == ".r":
+                if len(tokens) != 2:
+                    raise KissFormatError(
+                        f"line {line_number}: malformed reset directive {line!r}"
+                    )
+                reset_state = tokens[1]
+            else:
+                raise KissFormatError(
+                    f"line {line_number}: unknown directive {directive!r}"
+                )
+            continue
+
+        tokens = line.split()
+        if len(tokens) != 4:
+            raise KissFormatError(
+                f"line {line_number}: expected 4 fields, got {len(tokens)}: {line!r}"
+            )
+        input_field, state, next_state, output_field = tokens
+        if n_input_bits is not None and len(input_field) != n_input_bits:
+            raise KissFormatError(
+                f"line {line_number}: input field {input_field!r} does not have "
+                f"{n_input_bits} bits"
+            )
+        if n_output_bits is not None and len(output_field) != n_output_bits:
+            raise KissFormatError(
+                f"line {line_number}: output field {output_field!r} does not have "
+                f"{n_output_bits} bits"
+            )
+        if not set(input_field) <= set("01-"):
+            raise KissFormatError(
+                f"line {line_number}: invalid input field {input_field!r}"
+            )
+        if not set(output_field) <= set("01"):
+            raise KissFormatError(
+                f"line {line_number}: invalid output field {output_field!r} "
+                "(output don't cares would make the machine incompletely specified)"
+            )
+        line_count += 1
+        note_state(state)
+        note_state(next_state)
+        for vector in _expand_dont_cares(input_field):
+            key = (state, vector)
+            if key in transitions:
+                raise KissFormatError(
+                    f"line {line_number}: duplicate transition for state "
+                    f"{state!r}, input {vector!r}"
+                )
+            transitions[key] = (next_state, output_field)
+
+    if not transitions:
+        raise KissFormatError("no transitions found")
+    if n_input_bits is None:
+        n_input_bits = len(next(iter(transitions))[1])
+    if declared_states is not None and declared_states != len(state_order):
+        raise KissFormatError(
+            f".s declares {declared_states} states but {len(state_order)} appear"
+        )
+    if declared_products is not None and declared_products != line_count:
+        raise KissFormatError(
+            f".p declares {declared_products} lines but {line_count} appear"
+        )
+
+    input_symbols = ["".join(bits) for bits in product("01", repeat=n_input_bits)]
+    missing = [
+        (state, vector)
+        for state in state_order
+        for vector in input_symbols
+        if (state, vector) not in transitions
+    ]
+    if missing:
+        state, vector = missing[0]
+        raise KissFormatError(
+            f"machine is incompletely specified: no transition for state "
+            f"{state!r}, input {vector!r} ({len(missing)} missing in total)"
+        )
+
+    output_symbols = sorted({output for (_, output) in transitions.values()})
+    return MealyMachine(
+        name,
+        state_order,
+        input_symbols,
+        output_symbols,
+        transitions,
+        reset_state=reset_state,
+    )
+
+
+def load(path, name: str = None) -> MealyMachine:
+    """Read a KISS2 file from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if name is None:
+        name = str(path).rsplit("/", 1)[-1].rsplit(".", 1)[0]
+    return loads(text, name)
+
+
+def dumps(machine: MealyMachine) -> str:
+    """Serialise a machine to KISS2 text.
+
+    If the machine's input symbols are not already equal-width binary
+    strings, inputs are re-encoded as fixed-width binary indices (and
+    likewise for outputs); the mapping is order-preserving so a round trip
+    through :func:`loads` yields an isomorphic machine.
+    """
+    inputs = [str(i) for i in machine.inputs]
+    if not _is_binary_alphabet(inputs):
+        inputs = _index_codes(len(inputs))
+    outputs = [str(o) for o in machine.outputs]
+    if not all(set(o) <= set("01") for o in outputs) or len({len(o) for o in outputs}) != 1:
+        outputs = _index_codes(len(outputs))
+    state_names = _safe_state_names(machine.states)
+
+    # KISS2 machines are complete over all 2^k input vectors.  If the
+    # symbolic alphabet is not a power of two, the unused vectors are padded
+    # with the behaviour of the first input; the parsed machine then
+    # *realizes* the original in the sense of Definition 3 (iota maps each
+    # original input to its code, and the padded columns are never in the
+    # image of iota).
+    width = len(inputs[0])
+    pad_vectors = [
+        "".join(bits)
+        for bits in product("01", repeat=width)
+        if "".join(bits) not in set(inputs)
+    ]
+
+    columns = list(range(machine.n_inputs)) + [0] * len(pad_vectors)
+    vectors = inputs + pad_vectors
+    lines = [
+        f".i {width}",
+        f".o {len(outputs[0])}",
+        f".s {machine.n_states}",
+        f".p {machine.n_states * len(vectors)}",
+        f".r {state_names[machine.state_index(machine.reset_state)]}",
+    ]
+    for s in range(machine.n_states):
+        for vector, column in zip(vectors, columns):
+            next_state = state_names[machine.succ_table[s][column]]
+            output = outputs[machine.out_table[s][column]]
+            lines.append(f"{vector} {state_names[s]} {next_state} {output}")
+    lines.append(".e")
+    return "\n".join(lines) + "\n"
+
+
+def _safe_state_names(states) -> List[str]:
+    """Whitespace-free unique tokens for KISS state fields.
+
+    Product-machine states are tuples whose ``str()`` contains spaces,
+    which would corrupt the 4-field line format; such names are rewritten
+    in place (order-preserving, collision-checked).
+    """
+    names = []
+    for state in states:
+        token = "".join(str(state).split())
+        names.append(token)
+    if len(set(names)) != len(names):
+        names = [f"s{k}" for k in range(len(names))]
+    return names
+
+
+def dump(machine: MealyMachine, path) -> None:
+    """Write a machine to ``path`` in KISS2 format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(machine))
+
+
+def _is_binary_alphabet(symbols: List[str]) -> bool:
+    """Equal-width binary strings covering exactly all 2^k combinations."""
+    if not symbols:
+        return False
+    width = len(symbols[0])
+    if any(len(s) != width or not set(s) <= set("01") for s in symbols):
+        return False
+    return len(symbols) == 2 ** width and len(set(symbols)) == len(symbols)
+
+
+def _index_codes(count: int) -> List[str]:
+    """Fixed-width binary encodings of ``0 .. count-1`` (width >= 1)."""
+    width = max(1, (count - 1).bit_length())
+    return [format(k, f"0{width}b") for k in range(count)]

@@ -1,0 +1,274 @@
+"""The Mealy finite state machine model (Definition 1 of the paper).
+
+A :class:`MealyMachine` is a fully specified machine
+``M = (S, I, O, delta, lambda)``: for *every* state and *every* input there
+is exactly one transition.  The paper assumes fully specified machines
+throughout ("it is assumed that controllers are fully specified as
+mealy-type finite state machines"), and the benchmark set it evaluates is
+the *fully specified* subset of the IWLS'93 distribution, so completeness is
+enforced at construction time.
+
+States, inputs and outputs are arbitrary hashable symbols at the API
+boundary; internally everything is index-based (``succ[s][i]`` /
+``out[s][i]`` tables) because the partition algebra and the OSTR search are
+index-based for speed.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    Hashable,
+    Iterator,
+    Mapping,
+    Sequence,
+    Tuple,
+)
+
+from ..exceptions import FsmError
+
+Symbol = Hashable
+Transitions = Mapping[Tuple[Symbol, Symbol], Tuple[Symbol, Symbol]]
+
+
+class MealyMachine:
+    """A fully specified Mealy machine ``M = (S, I, O, delta, lambda)``."""
+
+    __slots__ = (
+        "name",
+        "_states",
+        "_inputs",
+        "_outputs",
+        "_state_index",
+        "_input_index",
+        "_output_index",
+        "_succ",
+        "_out",
+        "reset_state",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        states: Sequence[Symbol],
+        inputs: Sequence[Symbol],
+        outputs: Sequence[Symbol],
+        transitions: Transitions,
+        reset_state: Symbol = None,
+    ) -> None:
+        self.name = str(name)
+        self._states = tuple(states)
+        self._inputs = tuple(inputs)
+        self._outputs = tuple(outputs)
+        if not self._states:
+            raise FsmError("state set must be non-empty")
+        if not self._inputs:
+            raise FsmError("input set must be non-empty")
+        if not self._outputs:
+            raise FsmError("output set must be non-empty")
+        for label, symbols in (
+            ("state", self._states),
+            ("input", self._inputs),
+            ("output", self._outputs),
+        ):
+            if len(symbols) != len(set(symbols)):
+                raise FsmError(f"duplicate {label} symbols: {symbols!r}")
+
+        self._state_index: Dict[Symbol, int] = {s: k for k, s in enumerate(self._states)}
+        self._input_index: Dict[Symbol, int] = {i: k for k, i in enumerate(self._inputs)}
+        self._output_index: Dict[Symbol, int] = {o: k for k, o in enumerate(self._outputs)}
+
+        n, m = len(self._states), len(self._inputs)
+        succ = [[-1] * m for _ in range(n)]
+        out = [[-1] * m for _ in range(n)]
+        for (state, symbol), (next_state, output) in transitions.items():
+            s = self._state_index.get(state)
+            i = self._input_index.get(symbol)
+            if s is None:
+                raise FsmError(f"transition from unknown state {state!r}")
+            if i is None:
+                raise FsmError(f"transition on unknown input {symbol!r}")
+            t = self._state_index.get(next_state)
+            o = self._output_index.get(output)
+            if t is None:
+                raise FsmError(f"transition to unknown state {next_state!r}")
+            if o is None:
+                raise FsmError(f"transition with unknown output {output!r}")
+            if succ[s][i] != -1:
+                raise FsmError(
+                    f"duplicate transition for state {state!r}, input {symbol!r}"
+                )
+            succ[s][i] = t
+            out[s][i] = o
+        for s in range(n):
+            for i in range(m):
+                if succ[s][i] == -1:
+                    raise FsmError(
+                        "machine is not fully specified: missing transition for "
+                        f"state {self._states[s]!r}, input {self._inputs[i]!r}"
+                    )
+        self._succ: Tuple[Tuple[int, ...], ...] = tuple(tuple(row) for row in succ)
+        self._out: Tuple[Tuple[int, ...], ...] = tuple(tuple(row) for row in out)
+
+        if reset_state is not None and reset_state not in self._state_index:
+            raise FsmError(f"reset state {reset_state!r} not in state set")
+        self.reset_state = reset_state if reset_state is not None else self._states[0]
+
+    # -- alternative constructor ------------------------------------------
+
+    @classmethod
+    def from_tables(
+        cls,
+        name: str,
+        states: Sequence[Symbol],
+        inputs: Sequence[Symbol],
+        outputs: Sequence[Symbol],
+        succ: Sequence[Sequence[int]],
+        out: Sequence[Sequence[int]],
+        reset_state: Symbol = None,
+    ) -> "MealyMachine":
+        """Build directly from index-based successor/output tables."""
+        transitions = {}
+        for s, state in enumerate(states):
+            for i, symbol in enumerate(inputs):
+                transitions[(state, symbol)] = (states[succ[s][i]], outputs[out[s][i]])
+        return cls(name, states, inputs, outputs, transitions, reset_state)
+
+    # -- symbol sets --------------------------------------------------------
+
+    @property
+    def states(self) -> Tuple[Symbol, ...]:
+        return self._states
+
+    @property
+    def inputs(self) -> Tuple[Symbol, ...]:
+        return self._inputs
+
+    @property
+    def outputs(self) -> Tuple[Symbol, ...]:
+        return self._outputs
+
+    @property
+    def n_states(self) -> int:
+        return len(self._states)
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self._inputs)
+
+    @property
+    def n_outputs(self) -> int:
+        return len(self._outputs)
+
+    # -- index access (used by the algorithm layers) ------------------------
+
+    @property
+    def succ_table(self) -> Tuple[Tuple[int, ...], ...]:
+        """``succ[s][i]`` = index of ``delta(states[s], inputs[i])``."""
+        return self._succ
+
+    @property
+    def out_table(self) -> Tuple[Tuple[int, ...], ...]:
+        """``out[s][i]`` = index of ``lambda(states[s], inputs[i])``."""
+        return self._out
+
+    def state_index(self, state: Symbol) -> int:
+        try:
+            return self._state_index[state]
+        except KeyError as exc:
+            raise FsmError(f"unknown state {state!r}") from exc
+
+    def input_index(self, symbol: Symbol) -> int:
+        try:
+            return self._input_index[symbol]
+        except KeyError as exc:
+            raise FsmError(f"unknown input {symbol!r}") from exc
+
+    def output_index(self, symbol: Symbol) -> int:
+        try:
+            return self._output_index[symbol]
+        except KeyError as exc:
+            raise FsmError(f"unknown output {symbol!r}") from exc
+
+    # -- the machine functions ----------------------------------------------
+
+    def delta(self, state: Symbol, symbol: Symbol) -> Symbol:
+        """The next-state function ``delta: S x I -> S``."""
+        return self._states[self._succ[self.state_index(state)][self.input_index(symbol)]]
+
+    def lam(self, state: Symbol, symbol: Symbol) -> Symbol:
+        """The output function ``lambda: S x I -> O``."""
+        return self._outputs[self._out[self.state_index(state)][self.input_index(symbol)]]
+
+    def step(self, state: Symbol, symbol: Symbol) -> Tuple[Symbol, Symbol]:
+        """One transition: returns ``(delta(s, i), lambda(s, i))``."""
+        s = self.state_index(state)
+        i = self.input_index(symbol)
+        return self._states[self._succ[s][i]], self._outputs[self._out[s][i]]
+
+    def transitions(self) -> Iterator[Tuple[Symbol, Symbol, Symbol, Symbol]]:
+        """Yield all transitions as ``(state, input, next_state, output)``."""
+        for s, state in enumerate(self._states):
+            for i, symbol in enumerate(self._inputs):
+                yield (
+                    state,
+                    symbol,
+                    self._states[self._succ[s][i]],
+                    self._outputs[self._out[s][i]],
+                )
+
+    # -- convenience ----------------------------------------------------------
+
+    def renamed(self, name: str) -> "MealyMachine":
+        """A copy of this machine under a different name."""
+        return MealyMachine.from_tables(
+            name,
+            self._states,
+            self._inputs,
+            self._outputs,
+            self._succ,
+            self._out,
+            self.reset_state,
+        )
+
+    def transition_table(self) -> str:
+        """Paper-style state transition table (Figure 5 layout).
+
+        Rows are states, columns are inputs, entries are
+        ``next_state/output``.
+        """
+        header = [""] + [str(i) for i in self._inputs]
+        rows = []
+        for s, state in enumerate(self._states):
+            row = [str(state)]
+            for i in range(len(self._inputs)):
+                row.append(
+                    f"{self._states[self._succ[s][i]]}/{self._outputs[self._out[s][i]]}"
+                )
+            rows.append(row)
+        widths = [max(len(r[c]) for r in [header] + rows) for c in range(len(header))]
+        lines = []
+        for r in [header] + rows:
+            lines.append("  ".join(cell.rjust(w) for cell, w in zip(r, widths)))
+        return "\n".join(lines)
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same symbol sets (in order) and same tables."""
+        if not isinstance(other, MealyMachine):
+            return NotImplemented
+        return (
+            self._states == other._states
+            and self._inputs == other._inputs
+            and self._outputs == other._outputs
+            and self._succ == other._succ
+            and self._out == other._out
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._states, self._inputs, self._outputs, self._succ, self._out))
+
+    def __repr__(self) -> str:
+        return (
+            f"MealyMachine({self.name!r}, |S|={self.n_states}, "
+            f"|I|={self.n_inputs}, |O|={self.n_outputs})"
+        )

@@ -1,0 +1,90 @@
+"""Reachability and connectivity analysis for Mealy machines.
+
+These checks back the benchmark-suite generators (synthetic machines must be
+strongly connected to be credible controller specifications) and the
+self-test session analysis (every state must be exercisable).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from .machine import MealyMachine, Symbol
+
+
+def reachable_states(machine: MealyMachine, start: Symbol = None) -> FrozenSet[Symbol]:
+    """States reachable from ``start`` (default: the reset state)."""
+    if start is None:
+        start = machine.reset_state
+    succ = machine.succ_table
+    seen: Set[int] = {machine.state_index(start)}
+    stack: List[int] = [machine.state_index(start)]
+    while stack:
+        s = stack.pop()
+        for t in succ[s]:
+            if t not in seen:
+                seen.add(t)
+                stack.append(t)
+    return frozenset(machine.states[s] for s in seen)
+
+
+def is_connected(machine: MealyMachine) -> bool:
+    """Is every state reachable from the reset state?"""
+    return len(reachable_states(machine)) == machine.n_states
+
+
+def strongly_connected_components(
+    machine: MealyMachine,
+) -> Tuple[FrozenSet[Symbol], ...]:
+    """Tarjan's SCC algorithm on the state-transition graph (iterative)."""
+    succ = machine.succ_table
+    n = machine.n_states
+    index_of: Dict[int, int] = {}
+    lowlink: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[int] = []
+    components: List[FrozenSet[Symbol]] = []
+    counter = [0]
+
+    for root in range(n):
+        if root in index_of:
+            continue
+        work: List[Tuple[int, int]] = [(root, 0)]
+        while work:
+            node, edge_position = work.pop()
+            if edge_position == 0:
+                index_of[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            neighbours = succ[node]
+            for position in range(edge_position, len(neighbours)):
+                target = neighbours[position]
+                if target not in index_of:
+                    work.append((node, position + 1))
+                    work.append((target, 0))
+                    advanced = True
+                    break
+                if target in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[target])
+            if advanced:
+                continue
+            if lowlink[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(frozenset(machine.states[s] for s in component))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return tuple(components)
+
+
+def is_strongly_connected(machine: MealyMachine) -> bool:
+    """Does every state reach every other state?"""
+    return len(strongly_connected_components(machine)) == 1

@@ -1,0 +1,114 @@
+"""Realizations of finite state machines (Definition 3 of the paper).
+
+``M* = (S*, I*, O*, delta*, lambda*)`` *realizes* ``M = (S, I, O, delta,
+lambda)`` iff there is a triple of mappings ``(alpha, iota, zeta)`` with
+
+* ``alpha: S -> S*``, ``iota: I -> I*``, ``zeta: O* -> O``,
+* ``delta*(alpha(s), iota(i)) = alpha(delta(s, i))``      (state homomorphism)
+* ``zeta(lambda*(alpha(s), iota(i))) = lambda(s, i)``     (output factoring)
+
+for all ``s in S`` and ``i in I``.  This module provides an explicit
+:class:`RealizationWitness` container, a checker that verifies the two
+equations exhaustively, and a behavioural cross-check via product-machine
+input/output equivalence (which must follow from the equations, and is
+verified independently in the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+from ..exceptions import RealizationError
+from .machine import MealyMachine, Symbol
+from .simulate import io_equivalent
+
+
+@dataclass(frozen=True)
+class RealizationWitness:
+    """The triple ``(alpha, iota, zeta)`` of Definition 3."""
+
+    alpha: Mapping[Symbol, Symbol]
+    iota: Mapping[Symbol, Symbol]
+    zeta: Mapping[Symbol, Symbol]
+
+
+def check_realization(
+    spec: MealyMachine,
+    impl: MealyMachine,
+    witness: RealizationWitness,
+) -> None:
+    """Verify Definition 3; raise :class:`RealizationError` on any violation.
+
+    The check is exhaustive over ``S x I`` and therefore a proof for finite
+    machines.
+    """
+    alpha, iota, zeta = witness.alpha, witness.iota, witness.zeta
+    for state in spec.states:
+        if state not in alpha:
+            raise RealizationError(f"alpha is not defined on state {state!r}")
+        impl.state_index(alpha[state])  # validates codomain
+    for symbol in spec.inputs:
+        if symbol not in iota:
+            raise RealizationError(f"iota is not defined on input {symbol!r}")
+        impl.input_index(iota[symbol])
+
+    for state in spec.states:
+        for symbol in spec.inputs:
+            expected_state = alpha[spec.delta(state, symbol)]
+            actual_state = impl.delta(alpha[state], iota[symbol])
+            if actual_state != expected_state:
+                raise RealizationError(
+                    "state homomorphism violated at "
+                    f"(s={state!r}, i={symbol!r}): delta*(alpha(s), iota(i)) = "
+                    f"{actual_state!r} but alpha(delta(s, i)) = {expected_state!r}"
+                )
+            impl_output = impl.lam(alpha[state], iota[symbol])
+            if impl_output not in zeta:
+                raise RealizationError(
+                    f"zeta is not defined on produced output {impl_output!r}"
+                )
+            if zeta[impl_output] != spec.lam(state, symbol):
+                raise RealizationError(
+                    "output factoring violated at "
+                    f"(s={state!r}, i={symbol!r}): zeta(lambda*(...)) = "
+                    f"{zeta[impl_output]!r} but lambda(s, i) = "
+                    f"{spec.lam(state, symbol)!r}"
+                )
+
+
+def is_realization(
+    spec: MealyMachine,
+    impl: MealyMachine,
+    witness: RealizationWitness,
+) -> bool:
+    """Boolean form of :func:`check_realization`."""
+    try:
+        check_realization(spec, impl, witness)
+    except RealizationError:
+        return False
+    return True
+
+
+def behaviourally_realizes(
+    spec: MealyMachine,
+    impl: MealyMachine,
+    witness: RealizationWitness,
+    start: Hashable = None,
+) -> bool:
+    """Behavioural consequence of Definition 3 for a start state.
+
+    If ``impl`` realizes ``spec`` then, started in ``alpha(s0)``, ``impl``
+    must be input/output equivalent to ``spec`` started in ``s0`` modulo the
+    ``iota``/``zeta`` translations.  This is a *necessary* condition and is
+    used as an independent cross-check of the exhaustive equation check.
+    """
+    s0 = spec.reset_state if start is None else start
+    return io_equivalent(
+        spec,
+        s0,
+        impl,
+        witness.alpha[s0],
+        input_map=dict(witness.iota),
+        output_map=dict(witness.zeta),
+    )

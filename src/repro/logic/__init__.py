@@ -1,0 +1,36 @@
+"""Two-level logic synthesis: cubes, covers, exact and heuristic minimizers."""
+
+from .cubes import (
+    Cover,
+    all_minterms,
+    cube_contains,
+    cube_covers,
+    cube_literals,
+    cube_minterms,
+    cube_size,
+    cubes_intersect,
+    try_merge,
+    verify_cover,
+)
+from .espresso_lite import minimize, minimize_heuristic
+from .quine_mccluskey import minimize_exact, prime_implicants
+from .synth import MultiOutputCover, synthesize_table
+
+__all__ = [
+    "Cover",
+    "cube_covers",
+    "cube_contains",
+    "cubes_intersect",
+    "cube_literals",
+    "cube_minterms",
+    "cube_size",
+    "try_merge",
+    "all_minterms",
+    "verify_cover",
+    "prime_implicants",
+    "minimize_exact",
+    "minimize_heuristic",
+    "minimize",
+    "MultiOutputCover",
+    "synthesize_table",
+]

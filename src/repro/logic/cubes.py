@@ -1,0 +1,130 @@
+"""Cube and cover primitives for two-level logic.
+
+A *cube* (product term) over ``n`` inputs is a string of length ``n`` over
+``{'0', '1', '-'}``: ``'0'``/``'1'`` are literals, ``'-'`` is an unbound
+variable.  A *cover* is a set of cubes whose union (OR) implements a
+single-output function.  Multi-output sharing is handled a level up in
+:mod:`repro.logic.synth`.
+
+Strings are deliberately used instead of packed integers: the functions in
+this domain are small (controller next-state/output logic) and the string
+form keeps the algorithms auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from ..exceptions import LogicError
+
+
+def check_cube(cube: str, n_inputs: int) -> None:
+    if len(cube) != n_inputs or not set(cube) <= {"0", "1", "-"}:
+        raise LogicError(f"invalid cube {cube!r} for {n_inputs} inputs")
+
+
+def cube_literals(cube: str) -> int:
+    """Number of bound variables (AND-gate inputs) of the cube."""
+    return sum(1 for ch in cube if ch != "-")
+
+
+def cube_covers(cube: str, minterm: str) -> bool:
+    """Does the cube contain the fully specified minterm?"""
+    return all(c == "-" or c == m for c, m in zip(cube, minterm))
+
+
+def cube_contains(outer: str, inner: str) -> bool:
+    """Is every minterm of ``inner`` contained in ``outer``?"""
+    return all(o == "-" or o == i for o, i in zip(outer, inner))
+
+
+def cubes_intersect(a: str, b: str) -> bool:
+    """Do the cubes share at least one minterm?"""
+    return all(x == "-" or y == "-" or x == y for x, y in zip(a, b))
+
+
+def cube_minterms(cube: str) -> Iterator[str]:
+    """Enumerate all minterms of the cube (exponential in free variables)."""
+    positions = [i for i, ch in enumerate(cube) if ch == "-"]
+    chars = list(cube)
+    for bits in product("01", repeat=len(positions)):
+        for position, bit in zip(positions, bits):
+            chars[position] = bit
+        yield "".join(chars)
+
+
+def cube_size(cube: str) -> int:
+    """Number of minterms the cube contains."""
+    return 2 ** sum(1 for ch in cube if ch == "-")
+
+
+def try_merge(a: str, b: str) -> str:
+    """Merge two cubes differing in exactly one bound position, or raise."""
+    difference = -1
+    for position, (x, y) in enumerate(zip(a, b)):
+        if x == y:
+            continue
+        if x == "-" or y == "-" or difference != -1:
+            raise LogicError(f"cubes {a!r} and {b!r} are not distance-1")
+        difference = position
+    if difference == -1:
+        raise LogicError(f"cubes {a!r} and {b!r} are identical")
+    return a[:difference] + "-" + a[difference + 1 :]
+
+
+@dataclass(frozen=True)
+class Cover:
+    """A single-output cover: OR of cubes."""
+
+    n_inputs: int
+    cubes: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        for cube in self.cubes:
+            check_cube(cube, self.n_inputs)
+
+    def evaluate(self, minterm: str) -> bool:
+        """Value of the function at a fully specified input."""
+        if len(minterm) != self.n_inputs or not set(minterm) <= {"0", "1"}:
+            raise LogicError(f"invalid minterm {minterm!r}")
+        return any(cube_covers(cube, minterm) for cube in self.cubes)
+
+    @property
+    def n_cubes(self) -> int:
+        return len(self.cubes)
+
+    @property
+    def literals(self) -> int:
+        """Total literal count (the classic two-level cost measure)."""
+        return sum(cube_literals(cube) for cube in self.cubes)
+
+    def covers_all(self, minterms: Iterable[str]) -> bool:
+        return all(self.evaluate(minterm) for minterm in minterms)
+
+    def covers_none(self, minterms: Iterable[str]) -> bool:
+        return not any(self.evaluate(minterm) for minterm in minterms)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.cubes)
+
+    def __len__(self) -> int:
+        return len(self.cubes)
+
+
+def verify_cover(
+    cover: Cover, on_set: Sequence[str], off_set: Sequence[str]
+) -> None:
+    """Check functional correctness of a cover against on/off sets."""
+    for minterm in on_set:
+        if not cover.evaluate(minterm):
+            raise LogicError(f"cover misses on-set minterm {minterm!r}")
+    for minterm in off_set:
+        if cover.evaluate(minterm):
+            raise LogicError(f"cover wrongly covers off-set minterm {minterm!r}")
+
+
+def all_minterms(n_inputs: int) -> List[str]:
+    """All fully specified input patterns (use only for small ``n``)."""
+    return [format(value, f"0{n_inputs}b") for value in range(2 ** n_inputs)] if n_inputs else [""]

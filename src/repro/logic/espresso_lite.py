@@ -1,0 +1,160 @@
+"""Heuristic two-level minimization (an espresso-style expand/irredundant loop).
+
+For functions too wide for exact Quine-McCluskey, this implements the core
+of the espresso recipe on explicit on/off sets:
+
+1. **EXPAND** each cube literal-by-literal as long as it stays disjoint
+   from the off-set (cube order: largest first, so big cubes absorb small
+   ones early);
+2. **ABSORB** cubes contained in other cubes;
+3. **IRREDUNDANT**: greedily drop cubes whose on-set minterms are covered
+   by the rest.
+
+The result is verified against the on/off sets before being returned, so a
+bug in the heuristics can never produce a functionally wrong cover.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from ..exceptions import LogicError
+from .cubes import (
+    Cover,
+    cube_contains,
+    cube_covers,
+    cubes_intersect,
+    verify_cover,
+)
+
+
+def _expand_cube(cube: str, off_set: Sequence[str]) -> str:
+    """Free bound literals while the cube avoids every off-set minterm."""
+    current = cube
+    for position in range(len(cube)):
+        if current[position] == "-":
+            continue
+        trial = current[:position] + "-" + current[position + 1 :]
+        if not any(cubes_intersect(trial, off) for off in off_set):
+            current = trial
+    return current
+
+
+def _absorb(cubes: List[str]) -> List[str]:
+    """Remove cubes contained in another cube of the list."""
+    kept: List[str] = []
+    for cube in sorted(set(cubes), key=lambda c: c.count("-"), reverse=True):
+        if not any(cube_contains(other, cube) for other in kept):
+            kept.append(cube)
+    return kept
+
+
+def _irredundant(cubes: List[str], on_set: Sequence[str]) -> List[str]:
+    """Greedy removal of cubes not needed to cover the on-set."""
+    kept = list(cubes)
+    # Try to drop the most specific (fewest '-') cubes first.
+    for cube in sorted(list(kept), key=lambda c: c.count("-")):
+        others = [c for c in kept if c != cube]
+        if all(any(cube_covers(c, m) for c in others) for m in on_set):
+            kept = others
+    return kept
+
+
+def _supercube(minterms: Sequence[str], n_inputs: int) -> str:
+    """Smallest cube containing all the given minterms."""
+    chars = list(minterms[0])
+    for minterm in minterms[1:]:
+        for position, ch in enumerate(minterm):
+            if chars[position] != ch:
+                chars[position] = "-"
+    return "".join(chars)
+
+
+def _reduce(cubes: List[str], on_set: Sequence[str], n_inputs: int) -> List[str]:
+    """REDUCE pass: shrink each cube to the supercube of the on-set
+    minterms only it covers; a shrunk cube can expand differently on the
+    next pass, letting the loop escape local minima."""
+    reduced: List[str] = []
+    for position, cube in enumerate(cubes):
+        others = cubes[:position] + cubes[position + 1 :]
+        exclusive = [
+            minterm
+            for minterm in on_set
+            if cube_covers(cube, minterm)
+            and not any(cube_covers(other, minterm) for other in others)
+        ]
+        if exclusive:
+            reduced.append(_supercube(exclusive, n_inputs))
+        # cubes with no exclusive minterms are dropped (irredundant)
+    return reduced
+
+
+def minimize_heuristic(
+    on_set: Sequence[str],
+    dc_set: Sequence[str],
+    n_inputs: int,
+    iterations: int = 2,
+) -> Cover:
+    """Espresso-style cover of an incompletely specified function.
+
+    The classic loop: EXPAND against the off-set, ABSORB contained cubes,
+    IRREDUNDANT, then REDUCE and repeat -- ``iterations`` rounds, keeping
+    the best cover seen (fewest cubes, then fewest literals).  The off-set
+    is materialised explicitly, so this still assumes the input space is
+    enumerable (controller-scale logic); what it avoids is the
+    prime-implicant explosion of exact minimization.
+    """
+    if not on_set:
+        return Cover(n_inputs, ())
+    care: Set[str] = set(on_set) | set(dc_set)
+    space = 2 ** n_inputs
+    off_set = [
+        pattern
+        for pattern in (format(v, f"0{n_inputs}b") for v in range(space))
+        if pattern not in care
+    ]
+
+    def one_pass(cubes: List[str]) -> List[str]:
+        cubes = sorted(set(cubes), key=lambda c: c.count("-"), reverse=True)
+        expanded = [_expand_cube(cube, off_set) for cube in cubes]
+        compact = _absorb(expanded)
+        return _irredundant(compact, list(on_set))
+
+    current = one_pass(list(dict.fromkeys(on_set)))
+    best = list(current)
+
+    def cost(cubes: List[str]):
+        from .cubes import cube_literals
+
+        return (len(cubes), sum(cube_literals(c) for c in cubes))
+
+    for _ in range(max(0, iterations - 1)):
+        reduced = _reduce(current, list(on_set), n_inputs)
+        if not reduced:
+            break
+        current = one_pass(reduced)
+        if cost(current) < cost(best):
+            best = list(current)
+
+    cover = Cover(n_inputs, tuple(sorted(best)))
+    verify_cover(cover, list(on_set), off_set)
+    return cover
+
+
+def minimize(
+    on_set: Sequence[str],
+    dc_set: Sequence[str],
+    n_inputs: int,
+    method: str = "auto",
+    exact_limit: int = 10,
+) -> Cover:
+    """Front door: exact below ``exact_limit`` inputs, heuristic above."""
+    from .quine_mccluskey import minimize_exact
+
+    if method == "auto":
+        method = "exact" if n_inputs <= exact_limit else "heuristic"
+    if method == "exact":
+        return minimize_exact(on_set, dc_set, n_inputs)
+    if method == "heuristic":
+        return minimize_heuristic(on_set, dc_set, n_inputs)
+    raise LogicError(f"unknown minimization method {method!r}")

@@ -1,0 +1,207 @@
+"""Exact two-level minimization (Quine-McCluskey + covering).
+
+Classic flow: generate all prime implicants of ``on ∪ dc`` by iterative
+distance-1 merging, then solve the unate covering problem over the on-set
+with essential-prime extraction, row/column dominance, and branch-and-bound
+on the remaining cyclic core.  Cost order: fewest cubes, then fewest
+literals -- the standard PLA objective, which is also what the paper's
+"logic minimization" step (their references [5, 6]) optimises.
+
+Intended for the input widths of controller logic (up to ~12 variables);
+:mod:`repro.logic.espresso_lite` covers anything larger heuristically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import LogicError
+from .cubes import Cover, cube_contains, cube_covers, cube_literals
+
+_MAX_INPUTS = 16
+
+
+def prime_implicants(
+    on_set: Sequence[str], dc_set: Sequence[str], n_inputs: int
+) -> List[str]:
+    """All prime implicants of the function ``on ∪ dc``."""
+    care = set(on_set) | set(dc_set)
+    for minterm in care:
+        if len(minterm) != n_inputs or not set(minterm) <= {"0", "1"}:
+            raise LogicError(f"invalid minterm {minterm!r}")
+    if n_inputs > _MAX_INPUTS:
+        raise LogicError(
+            f"{n_inputs} inputs exceeds the exact-minimizer limit "
+            f"({_MAX_INPUTS}); use espresso_lite"
+        )
+    if not care:
+        return []
+
+    current: Set[str] = set(care)
+    primes: Set[str] = set()
+    while current:
+        merged_from: Set[str] = set()
+        next_level: Set[str] = set()
+        grouped: Dict[int, List[str]] = {}
+        for cube in current:
+            grouped.setdefault(cube.count("1"), []).append(cube)
+        for ones, cubes in grouped.items():
+            partners = grouped.get(ones + 1, [])
+            for a in cubes:
+                for b in partners:
+                    merged = _merge_or_none(a, b)
+                    if merged is not None:
+                        next_level.add(merged)
+                        merged_from.add(a)
+                        merged_from.add(b)
+        primes |= current - merged_from
+        current = next_level
+    return sorted(primes)
+
+
+def _merge_or_none(a: str, b: str) -> Optional[str]:
+    """Distance-1 merge of cubes with identical '-' positions, else None."""
+    difference = -1
+    for position, (x, y) in enumerate(zip(a, b)):
+        if x == y:
+            continue
+        if x == "-" or y == "-":
+            return None
+        if difference != -1:
+            return None
+        difference = position
+    if difference == -1:
+        return None
+    return a[:difference] + "-" + a[difference + 1 :]
+
+
+def _select_cover(
+    primes: List[str], on_set: Sequence[str]
+) -> List[str]:
+    """Minimum-cube (then minimum-literal) prime cover of the on-set."""
+    remaining = list(dict.fromkeys(on_set))
+    if not remaining:
+        return []
+    covering: Dict[str, List[int]] = {
+        minterm: [
+            index for index, prime in enumerate(primes) if cube_covers(prime, minterm)
+        ]
+        for minterm in remaining
+    }
+    for minterm, rows in covering.items():
+        if not rows:
+            raise LogicError(f"no prime covers on-set minterm {minterm!r}")
+
+    chosen: Set[int] = set()
+    # Essential primes + dominance until fixpoint.
+    while True:
+        changed = False
+        # Essential: a minterm covered by exactly one remaining prime.
+        for minterm in list(remaining):
+            rows = covering[minterm]
+            if len(rows) == 1:
+                chosen.add(rows[0])
+                covered = {
+                    m for m in remaining if cube_covers(primes[rows[0]], m)
+                }
+                remaining = [m for m in remaining if m not in covered]
+                changed = True
+        if not remaining:
+            break
+        # Recompute candidate structure on the residual problem.
+        active = sorted(
+            {index for minterm in remaining for index in covering[minterm]}
+            - chosen
+        )
+        prime_rows: Dict[int, FrozenSet[str]] = {
+            index: frozenset(
+                m for m in remaining if cube_covers(primes[index], m)
+            )
+            for index in active
+        }
+        # Column dominance: drop primes covering a subset at >= literal cost.
+        dropped: Set[int] = set()
+        for a in active:
+            if a in dropped:
+                continue
+            for b in active:
+                if a == b or b in dropped:
+                    continue
+                if prime_rows[a] < prime_rows[b] or (
+                    prime_rows[a] == prime_rows[b]
+                    and (
+                        cube_literals(primes[a]) > cube_literals(primes[b])
+                        or (
+                            cube_literals(primes[a]) == cube_literals(primes[b])
+                            and a > b
+                        )
+                    )
+                ):
+                    dropped.add(a)
+                    break
+        if dropped:
+            for minterm in remaining:
+                covering[minterm] = [
+                    index for index in covering[minterm] if index not in dropped
+                ]
+            changed = True
+        if not changed:
+            break
+
+    if remaining:
+        chosen |= _branch_and_bound(primes, remaining, covering, chosen)
+    return sorted(primes[index] for index in chosen)
+
+
+def _branch_and_bound(
+    primes: List[str],
+    remaining: List[str],
+    covering: Dict[str, List[int]],
+    already: Set[int],
+) -> Set[int]:
+    """Exact covering of the cyclic core (small by the time we get here)."""
+    best: List[Optional[Set[int]]] = [None]
+
+    def cost(selection: Set[int]) -> Tuple[int, int]:
+        return (
+            len(selection),
+            sum(cube_literals(primes[index]) for index in selection),
+        )
+
+    def recurse(uncovered: List[str], selection: Set[int]) -> None:
+        if best[0] is not None and cost(selection) >= cost(best[0]):
+            return
+        if not uncovered:
+            best[0] = set(selection)
+            return
+        # Branch on the hardest minterm (fewest options) for tight bounds.
+        pivot = min(
+            uncovered,
+            key=lambda minterm: len([i for i in covering[minterm] if i not in already]),
+        )
+        options = [index for index in covering[pivot] if index not in already]
+        options.sort(key=lambda index: -len(
+            [m for m in uncovered if cube_covers(primes[index], m)]
+        ))
+        for index in options:
+            new_selection = selection | {index}
+            new_uncovered = [
+                m for m in uncovered if not cube_covers(primes[index], m)
+            ]
+            recurse(new_uncovered, new_selection)
+
+    recurse(list(remaining), set())
+    if best[0] is None:
+        raise LogicError("covering failed (unreachable for consistent input)")
+    return best[0]
+
+
+def minimize_exact(
+    on_set: Sequence[str], dc_set: Sequence[str], n_inputs: int
+) -> Cover:
+    """Exact minimum-cube two-level cover of an incompletely specified function."""
+    if not on_set:
+        return Cover(n_inputs, ())
+    primes = prime_implicants(on_set, dc_set, n_inputs)
+    selected = _select_cover(primes, list(on_set))
+    return Cover(n_inputs, tuple(selected))

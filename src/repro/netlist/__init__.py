@@ -1,0 +1,22 @@
+"""Gate-level netlist substrate: cells, evaluation, construction, metrics."""
+
+from .netlist import Fault, Gate, GateKind, Netlist
+from .build import cover_to_netlist
+from .export import (
+    controller_to_verilog,
+    netlist_to_blif,
+    netlist_to_verilog,
+    parse_blif_eval,
+)
+
+__all__ = [
+    "GateKind",
+    "Gate",
+    "Fault",
+    "Netlist",
+    "cover_to_netlist",
+    "netlist_to_verilog",
+    "netlist_to_blif",
+    "controller_to_verilog",
+    "parse_blif_eval",
+]

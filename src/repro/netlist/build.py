@@ -1,0 +1,73 @@
+"""Netlist construction from two-level covers.
+
+Maps a :class:`~repro.logic.synth.MultiOutputCover` onto the canonical
+PLA-like gate structure:
+
+* one inverter per input that appears complemented,
+* one AND gate per product-term row (BUF for single-literal rows,
+  CONST1 for the universal cube),
+* one OR gate per output (BUF/CONST0 degenerate cases).
+
+The resulting netlist's output names match the cover's output names, and
+its input names the cover's input names, so architecture builders can wire
+registers by name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..exceptions import NetlistError
+from ..logic.synth import MultiOutputCover
+from .netlist import GateKind, Netlist
+
+
+def cover_to_netlist(cover: MultiOutputCover, name: str = None) -> Netlist:
+    """Build the two-level AND-OR network of a multi-output cover."""
+    netlist = Netlist(name if name is not None else cover.name)
+    for input_name in cover.input_names:
+        netlist.add_input(input_name)
+
+    inverted: Dict[str, str] = {}
+
+    def literal_net(position: int, polarity: str) -> str:
+        input_name = cover.input_names[position]
+        if polarity == "1":
+            return input_name
+        if input_name not in inverted:
+            inverted[input_name] = netlist.add_gate(
+                GateKind.NOT, f"{input_name}_n", [input_name]
+            )
+        return inverted[input_name]
+
+    row_nets: List[str] = []
+    for row_position, row in enumerate(cover.rows):
+        literals = [
+            literal_net(position, ch)
+            for position, ch in enumerate(row)
+            if ch != "-"
+        ]
+        net_name = f"p{row_position}"
+        if not literals:
+            row_nets.append(netlist.add_gate(GateKind.CONST1, net_name, []))
+        elif len(literals) == 1:
+            row_nets.append(netlist.add_gate(GateKind.BUF, net_name, literals))
+        else:
+            row_nets.append(netlist.add_gate(GateKind.AND, net_name, literals))
+
+    for position, output_name in enumerate(cover.output_names):
+        rows = cover.output_rows[position]
+        if output_name in cover.input_names:
+            raise NetlistError(
+                f"output name {output_name!r} collides with an input name"
+            )
+        if not rows:
+            netlist.add_gate(GateKind.CONST0, output_name, [])
+        elif len(rows) == 1:
+            netlist.add_gate(GateKind.BUF, output_name, [row_nets[rows[0]]])
+        else:
+            netlist.add_gate(
+                GateKind.OR, output_name, [row_nets[index] for index in rows]
+            )
+        netlist.mark_output(output_name)
+    return netlist.freeze()

@@ -1,0 +1,83 @@
+"""Exhaustive reference solver for OSTR (small machines only).
+
+Enumerates *every* pair of partitions of the state set, keeps the symmetric
+partition pairs with ``pi ∩ theta ⊆ epsilon``, and returns the optimum under
+the OSTR cost order.  The number of partitions is the Bell number ``B(n)``,
+so this is only feasible for machines with a handful of states -- which is
+precisely its purpose: it is the ground truth against which the paper's
+depth-first procedure is differential-tested, including the paper's claim
+that evaluating only the M-side/m-side candidates per search node is exact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from ..exceptions import SearchError
+from ..fsm import MealyMachine
+from ..fsm.equivalence import equivalence_labels
+from ..partitions import Partition
+from ..partitions import kernel
+from .problem import OstrSolution, better, trivial_solution
+
+# Bell numbers B(0..10); enumeration cost is B(n)^2 refinement checks.
+_BELL = [1, 1, 2, 5, 15, 52, 203, 877, 4140, 21147, 115975]
+_DEFAULT_MAX_STATES = 8
+
+
+def all_symmetric_pairs(
+    machine: MealyMachine, max_states: int = _DEFAULT_MAX_STATES
+) -> Iterable[Tuple[Partition, Partition]]:
+    """Yield every symmetric partition pair ``(pi, theta)`` of the machine.
+
+    Pairs are yielded in a deterministic order.  The yield includes pairs
+    violating the ``pi ∩ theta ⊆ epsilon`` side condition; use
+    :func:`exhaustive_ostr` for solutions only.
+    """
+    n = machine.n_states
+    if n > max_states:
+        raise SearchError(
+            f"exhaustive enumeration over {n} states would visit "
+            f"~B({n})^2 = {_BELL[min(n, 10)] ** 2} pairs; "
+            f"raise max_states explicitly if you really want this"
+        )
+    succ = machine.succ_table
+    states = machine.states
+    partitions: List[Tuple[int, ...]] = list(kernel.all_partitions(n))
+    for pi_labels in partitions:
+        # (pi, theta) symmetric  <=>  m(pi) <= theta <= M(pi)
+        # (both inclusions follow from minimality/maximality of m/M).
+        mu = kernel.m_operator(succ, pi_labels)
+        big = kernel.big_m_operator(succ, pi_labels)
+        if not kernel.refines(mu, big):
+            continue
+        for theta_labels in partitions:
+            if kernel.refines(mu, theta_labels) and kernel.refines(
+                theta_labels, big
+            ):
+                yield (
+                    Partition(states, pi_labels),
+                    Partition(states, theta_labels),
+                )
+
+
+def exhaustive_ostr(
+    machine: MealyMachine, max_states: int = _DEFAULT_MAX_STATES
+) -> OstrSolution:
+    """The provably optimal OSTR solution by complete enumeration."""
+    epsilon = equivalence_labels(machine)
+    best: Optional[OstrSolution] = trivial_solution(machine.states)
+    for pi, theta in all_symmetric_pairs(machine, max_states=max_states):
+        if not kernel.refines(kernel.meet(pi.labels, theta.labels), epsilon):
+            continue
+        candidate = OstrSolution(pi=pi, theta=theta)
+        if better(candidate, best):
+            best = candidate
+    return best
+
+
+def count_symmetric_pairs(
+    machine: MealyMachine, max_states: int = _DEFAULT_MAX_STATES
+) -> int:
+    """Number of symmetric partition pairs (diagnostic/benchmark helper)."""
+    return sum(1 for _ in all_symmetric_pairs(machine, max_states=max_states))

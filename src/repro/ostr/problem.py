@@ -1,0 +1,162 @@
+"""The OSTR optimisation problem: cost model and solution container.
+
+OSTR (Optimal Self-Testable Realization, Section 2 of the paper): given a
+machine ``M``, find a realization ``M* = (S1 x S2, I, O, delta*, lambda*)``
+supporting a self-testable structure such that
+
+* (i)  ``ceil(log2 |S1|) + ceil(log2 |S2|)`` is minimal, and
+* (ii) ``| |S1| / |S2| - 1 |`` is minimal among solutions satisfying (i).
+
+Criterion (i) is the number of flip-flops of the pipeline structure;
+criterion (ii) balances the two registers so that the two self-test
+sessions use pattern generators and signature registers of similar width.
+
+For comparison columns of Table 1:
+
+* a conventional BIST (Figure 2) needs ``2 * ceil(log2 |S|)`` flip-flops
+  (system register ``R`` plus transparent test register ``T``);
+* doubling (Figure 3) also needs ``2 * ceil(log2 |S|)`` flip-flops;
+* the trivial OSTR solution (identity, identity) corresponds to doubling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..partitions import Partition
+
+
+def register_bits(n_states: int) -> int:
+    """Flip-flops needed for a register distinguishing ``n_states`` values."""
+    if n_states < 1:
+        raise ValueError("a register must hold at least one state")
+    return max(0, (n_states - 1).bit_length())
+
+
+def pipeline_flipflops(k1: int, k2: int) -> int:
+    """Criterion (i): total flip-flops of the pipeline structure."""
+    return register_bits(k1) + register_bits(k2)
+
+
+def balance(k1: int, k2: int) -> float:
+    """Criterion (ii) in orientation-free form: ``max/min - 1`` (>= 0).
+
+    The paper's expression ``| |S1|/|S2| - 1 |`` depends on which factor is
+    called ``S1``; since a solution ``(pi, theta)`` can always be flipped to
+    ``(theta, pi)``, we compare solutions by the orientation-free value.
+    """
+    lo, hi = sorted((k1, k2))
+    return hi / lo - 1.0
+
+
+def conventional_bist_flipflops(n_states: int) -> int:
+    """Column 5 of Table 1: flip-flops for the Figure-2 conventional BIST."""
+    return 2 * register_bits(n_states)
+
+
+def doubling_flipflops(n_states: int) -> int:
+    """Flip-flops of the Figure-3 doubled structure (the trivial solution)."""
+    return 2 * register_bits(n_states)
+
+
+@dataclass(frozen=True)
+class OstrSolution:
+    """A symmetric partition pair solving OSTR for a specific machine.
+
+    ``pi`` is the first factor's partition (``S1 = S/pi``) and ``theta`` the
+    second (``S2 = S/theta``); together with the specification they fully
+    determine the realization of Theorem 1.
+    """
+
+    pi: Partition
+    theta: Partition
+
+    @property
+    def k1(self) -> int:
+        """``|S1| = |S/pi|``."""
+        return self.pi.num_blocks
+
+    @property
+    def k2(self) -> int:
+        """``|S2| = |S/theta|``."""
+        return self.theta.num_blocks
+
+    @property
+    def flipflops(self) -> int:
+        """Criterion (i)."""
+        return pipeline_flipflops(self.k1, self.k2)
+
+    @property
+    def balance(self) -> float:
+        """Criterion (ii), orientation-free."""
+        return balance(self.k1, self.k2)
+
+    @property
+    def n_states(self) -> int:
+        return len(self.pi.universe)
+
+    @property
+    def is_trivial(self) -> bool:
+        """Does this solution merely double the machine (both factors full size)?"""
+        return self.k1 == self.n_states and self.k2 == self.n_states
+
+    @property
+    def is_nontrivial(self) -> bool:
+        """Paper's Section 4 criterion: ``|S1| < |S|`` or ``|S2| < |S|``."""
+        return not self.is_trivial
+
+    def cost_key(self) -> Tuple:
+        """Total order used to pick the best solution.
+
+        Primary: criterion (i), the flip-flop count.  Then the total factor
+        size ``|S1| + |S2|`` (smaller factor machines mean blocks C1/C2
+        implement fewer state transitions), then criterion (ii), then
+        deterministic tie-breakers so searches are reproducible.
+
+        Note on fidelity: the paper's literal problem statement orders by
+        (i) then (ii) only.  Read literally, that prefers the trivial
+        doubling ``(7,7)`` (ratio 0) over the published dk27 answer
+        ``(6,7)`` (ratio 1/7) -- so the authors' implementation evidently
+        preferred smaller factors at equal flip-flop cost, which Section 4
+        confirms ("the combined networks C1 and C2 need to implement less
+        state transitions than the original network C").  We therefore rank
+        ``|S1| + |S2|`` between (i) and (ii); EXPERIMENTS.md discusses the
+        deviation.
+        """
+        return (
+            self.flipflops,
+            self.k1 + self.k2,
+            self.balance,
+            self.k1 * self.k2,
+            self.pi.labels,
+            self.theta.labels,
+        )
+
+    def oriented(self) -> "OstrSolution":
+        """Return the orientation with ``|S1| >= |S2|`` (paper's Table 1 layout)."""
+        if self.k1 >= self.k2:
+            return self
+        return OstrSolution(pi=self.theta, theta=self.pi)
+
+    def __str__(self) -> str:
+        kind = "trivial" if self.is_trivial else "nontrivial"
+        return (
+            f"OstrSolution(|S1|={self.k1}, |S2|={self.k2}, "
+            f"flipflops={self.flipflops}, {kind})"
+        )
+
+
+def trivial_solution(universe) -> OstrSolution:
+    """The always-available doubling solution ``(identity, identity)``."""
+    identity = Partition.identity(universe)
+    return OstrSolution(pi=identity, theta=identity)
+
+
+def better(
+    candidate: OstrSolution, incumbent: Optional[OstrSolution]
+) -> bool:
+    """Is ``candidate`` strictly better than ``incumbent`` under the cost order?"""
+    if incumbent is None:
+        return True
+    return candidate.cost_key() < incumbent.cost_key()

@@ -1,0 +1,273 @@
+"""State splitting: the paper's "future work", implemented.
+
+Section 5 of the paper: "Future work will concentrate on modifying the
+state transition diagram to obtain functionally equivalent machines whose
+self-testable realizations lead to better solutions of problem OSTR."
+
+The transformation implemented here is classical **state splitting**: a
+state ``s`` is replaced by copies ``s₀, s₁`` with identical outgoing rows,
+and each transition formerly entering ``s`` is redirected to one of the
+copies.  The split machine is behaviourally equivalent to the original
+(the copies are equivalent states by construction), but its state set is
+larger, which can *create* symmetric partition pairs that do not exist on
+the original state set -- a state that plays two structural "roles" can
+be separated into one copy per role.
+
+:func:`search_with_splitting` wraps the OSTR search with a bounded
+greedy exploration of split candidates:
+
+1. solve OSTR on the current machine;
+2. for each state with in-degree >= 2, try every two-way partition of its
+   incoming transitions induced by (predecessor block, input) classes of
+   the current best solution, plus a couple of generic bisections;
+3. re-run OSTR on each split machine; keep the best improvement; repeat
+   until no split improves the cost or the split budget is exhausted.
+
+Every accepted machine is verified behaviourally equivalent to the
+original specification, and the final realization realizes the *split*
+machine exactly (Definition 3) while remaining I/O-equivalent to the
+original -- both facts are re-checked here and in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import FsmError, SearchError
+from ..fsm import MealyMachine, io_equivalent
+from .problem import OstrSolution
+from .search import OstrResult, search_ostr
+
+Incoming = Tuple[int, int]  # (source state index, input index)
+
+
+def split_state(
+    machine: MealyMachine,
+    state,
+    incoming_to_copy: Sequence[Incoming],
+    copy_suffixes: Tuple[str, str] = ("#0", "#1"),
+) -> MealyMachine:
+    """Split ``state`` into two equivalent copies.
+
+    ``incoming_to_copy`` lists the (source, input) transition slots -- as
+    index pairs -- that are redirected to the *second* copy; all other
+    incoming transitions (and the reset designation, if applicable) stay
+    on the first copy.  Self-loops of ``state`` are incoming transitions
+    like any other; both copies keep identical outgoing behaviour, so the
+    result is behaviourally equivalent wherever it starts.
+    """
+    target = machine.state_index(state)
+    redirect: Set[Incoming] = set()
+    for source, symbol_index in incoming_to_copy:
+        if machine.succ_table[source][symbol_index] != target:
+            raise FsmError(
+                f"transition ({source}, {symbol_index}) does not enter "
+                f"{state!r}; cannot redirect it"
+            )
+        redirect.add((source, symbol_index))
+
+    first = f"{state}{copy_suffixes[0]}"
+    second = f"{state}{copy_suffixes[1]}"
+    new_states: List = []
+    for position, name in enumerate(machine.states):
+        if position == target:
+            new_states.extend([first, second])
+        else:
+            new_states.append(name)
+    if len(set(new_states)) != len(new_states):
+        raise FsmError(f"split names collide for state {state!r}")
+
+    def mapped(index: int) -> int:
+        """New index of an old state (the split state maps to its first copy)."""
+        return index if index <= target else index + 1
+
+    n_inputs = machine.n_inputs
+    succ: List[List[int]] = []
+    out: List[List[int]] = []
+    for position in range(machine.n_states):
+        rows = [position] if position != target else [position, position]
+        for row in rows:
+            succ_row = []
+            out_row = []
+            for i in range(n_inputs):
+                next_index = machine.succ_table[row][i]
+                if next_index == target:
+                    goes_second = (row, i) in redirect
+                    new_next = target + (1 if goes_second else 0)
+                else:
+                    new_next = mapped(next_index)
+                succ_row.append(new_next)
+                out_row.append(machine.out_table[row][i])
+            succ.append(succ_row)
+            out.append(out_row)
+
+    reset_index = machine.state_index(machine.reset_state)
+    new_reset = new_states[mapped(reset_index)]
+    return MealyMachine.from_tables(
+        f"{machine.name}+split",
+        new_states,
+        machine.inputs,
+        machine.outputs,
+        succ,
+        out,
+        reset_state=new_reset,
+    )
+
+
+def incoming_transitions(machine: MealyMachine, state) -> List[Incoming]:
+    """All (source index, input index) slots entering ``state``."""
+    target = machine.state_index(state)
+    slots = []
+    for source in range(machine.n_states):
+        for i in range(machine.n_inputs):
+            if machine.succ_table[source][i] == target:
+                slots.append((source, i))
+    return slots
+
+
+@dataclass(frozen=True)
+class SplitStep:
+    """One accepted splitting step, for reporting."""
+
+    state: object
+    redirected: Tuple[Incoming, ...]
+    flipflops_before: int
+    flipflops_after: int
+
+
+@dataclass
+class SplitSearchResult:
+    """Outcome of :func:`search_with_splitting`."""
+
+    original: MealyMachine
+    machine: MealyMachine  # possibly split
+    result: OstrResult  # OSTR result on `machine`
+    steps: List[SplitStep]
+
+    @property
+    def solution(self) -> OstrSolution:
+        return self.result.solution
+
+    @property
+    def improved(self) -> bool:
+        return bool(self.steps)
+
+    def summary(self) -> str:
+        base = self.result.summary()
+        if not self.steps:
+            return base + " (no helpful split found)"
+        trail = ", ".join(str(step.state) for step in self.steps)
+        return base + f" (after splitting: {trail})"
+
+
+def _candidate_partitions(
+    machine: MealyMachine,
+    slots: List[Incoming],
+    solution: Optional[OstrSolution],
+) -> List[Tuple[Incoming, ...]]:
+    """Two-way splits of the incoming slots worth trying.
+
+    Guided candidates group slots by the current solution's block of the
+    *source* state (separating the structural roles the factors already
+    distinguish); generic candidates bisect by source parity and by input.
+    """
+    candidates: List[Tuple[Incoming, ...]] = []
+
+    def add(group: Sequence[Incoming]) -> None:
+        group = tuple(sorted(group))
+        if 0 < len(group) < len(slots) and group not in candidates:
+            candidates.append(group)
+
+    # Small in-degree: enumerate every two-way partition exactly (keep the
+    # first slot on copy 0 to break the copy-swap symmetry).
+    if len(slots) <= 5:
+        rest = slots[1:]
+        for mask in range(1, 1 << len(rest)):
+            add([rest[j] for j in range(len(rest)) if (mask >> j) & 1])
+        return candidates
+
+    if solution is not None:
+        for partition in (solution.pi, solution.theta):
+            by_block: Dict[int, List[Incoming]] = {}
+            for source, i in slots:
+                block = partition.block_index(machine.states[source])
+                by_block.setdefault(block, []).append((source, i))
+            if len(by_block) >= 2:
+                blocks = sorted(by_block)
+                add(
+                    [slot for block in blocks[: len(blocks) // 2]
+                     for slot in by_block[block]]
+                )
+    by_input: Dict[int, List[Incoming]] = {}
+    for source, i in slots:
+        by_input.setdefault(i, []).append((source, i))
+    if len(by_input) >= 2:
+        inputs = sorted(by_input)
+        add([slot for i in inputs[: len(inputs) // 2] for slot in by_input[i]])
+    add(slots[: len(slots) // 2])
+    add(slots[1::2])
+    return candidates
+
+
+def search_with_splitting(
+    machine: MealyMachine,
+    max_splits: int = 2,
+    max_states: int = 64,
+    search_options: Optional[Dict] = None,
+) -> SplitSearchResult:
+    """OSTR over the original machine and bounded state-split variants.
+
+    Greedy: accepts the first-best improving split each round.  The cost
+    comparison is on the OSTR cost key (flip-flops, then factor sizes, then
+    balance), so a split is only accepted when it strictly helps.
+    """
+    if max_splits < 0:
+        raise SearchError("max_splits must be non-negative")
+    options = dict(search_options or {})
+    current = machine
+    current_result = search_ostr(current, **options)
+    steps: List[SplitStep] = []
+
+    for _ in range(max_splits):
+        if current.n_states >= max_states:
+            break
+        best_improvement = None  # (cost_key, machine, result, step)
+        for state in current.states:
+            slots = incoming_transitions(current, state)
+            if len(slots) < 2:
+                continue
+            for group in _candidate_partitions(
+                current, slots, current_result.solution
+            ):
+                try:
+                    split = split_state(current, state, group)
+                except FsmError:
+                    continue
+                result = search_ostr(split, **options)
+                if result.solution.cost_key()[:3] >= current_result.solution.cost_key()[:3]:
+                    continue
+                key = result.solution.cost_key()
+                if best_improvement is None or key < best_improvement[0]:
+                    step = SplitStep(
+                        state=state,
+                        redirected=tuple(group),
+                        flipflops_before=current_result.solution.flipflops,
+                        flipflops_after=result.solution.flipflops,
+                    )
+                    best_improvement = (key, split, result, step)
+        if best_improvement is None:
+            break
+        _, current, current_result, step = best_improvement
+        # Behavioural safety net: the split machine must be I/O-equivalent.
+        if not io_equivalent(
+            machine, machine.reset_state, current, current.reset_state
+        ):
+            raise SearchError(
+                "internal error: accepted split changed machine behaviour"
+            )
+        steps.append(step)
+
+    return SplitSearchResult(
+        original=machine, machine=current, result=current_result, steps=steps
+    )

@@ -1,0 +1,30 @@
+"""Partition algebra: equivalence relations, lattice operations, partition pairs.
+
+This package implements the algebraic-structure-theory substrate
+(Hartmanis/Stearns) that Section 3 of the paper builds on: partitions of the
+state set, the lattice of equivalence relations, partition pairs, the ``m``
+and ``M`` operators, and the Mm basis used by the OSTR search.
+"""
+
+from .partition import Partition
+from .unionfind import UnionFind
+from .pairs import (
+    big_m_of,
+    is_mm_pair,
+    is_partition_pair,
+    is_symmetric_pair,
+    m_of,
+)
+from .mm import m_basis, mm_pairs
+
+__all__ = [
+    "Partition",
+    "UnionFind",
+    "is_partition_pair",
+    "is_symmetric_pair",
+    "is_mm_pair",
+    "m_of",
+    "big_m_of",
+    "m_basis",
+    "mm_pairs",
+]

@@ -1,0 +1,276 @@
+"""Low-level partition operations on canonical label tuples.
+
+The OSTR depth-first search evaluates partition-algebra operators at every
+node of a potentially very large search tree, so the inner loop avoids
+objects entirely.  A partition of ``{0, .., n-1}`` is represented as a
+*canonical label tuple*: ``labels[i]`` is the block id of element ``i`` and
+block ids are assigned in order of first occurrence (``labels[0] == 0``, a
+new id is always exactly one larger than the current maximum).  This is the
+"restricted growth string" normal form, so structural equality of partitions
+is plain tuple equality and tuples are directly hashable for memo tables.
+
+Machine transition structure enters through a *successor table*
+``succ[s][i]`` giving the next-state index of state ``s`` under input ``i``.
+The two operators of algebraic structure theory (Hartmanis/Stearns, as used
+by the paper) are provided here:
+
+* :func:`m_operator` -- the smallest equivalence ``m(pi)`` such that
+  ``(pi, m(pi))`` is a partition pair,
+* :func:`big_m_operator` -- the largest equivalence ``M(theta)`` such that
+  ``(M(theta), theta)`` is a partition pair.
+
+All functions are pure and side-effect free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .unionfind import UnionFind
+
+Labels = Tuple[int, ...]
+SuccTable = Sequence[Sequence[int]]
+
+
+def canonical(raw: Sequence[int]) -> Labels:
+    """Renumber arbitrary block labels into first-occurrence canonical form."""
+    mapping: Dict[int, int] = {}
+    out: List[int] = []
+    for value in raw:
+        label = mapping.get(value)
+        if label is None:
+            label = len(mapping)
+            mapping[value] = label
+        out.append(label)
+    return tuple(out)
+
+
+def identity(n: int) -> Labels:
+    """The finest partition: every element in its own block."""
+    return tuple(range(n))
+
+
+def one_block(n: int) -> Labels:
+    """The coarsest partition: a single block (empty tuple for ``n == 0``)."""
+    return (0,) * n
+
+
+def is_canonical(labels: Sequence[int]) -> bool:
+    """Return whether ``labels`` is in first-occurrence canonical form."""
+    seen = -1
+    for value in labels:
+        if value > seen + 1 or value < 0:
+            return False
+        if value == seen + 1:
+            seen = value
+    return True
+
+
+def num_blocks(labels: Labels) -> int:
+    """Number of blocks of a canonical label tuple."""
+    return (max(labels) + 1) if labels else 0
+
+
+def blocks(labels: Labels) -> Tuple[Tuple[int, ...], ...]:
+    """Return the blocks as tuples of element indices, in block-id order."""
+    out: List[List[int]] = [[] for _ in range(num_blocks(labels))]
+    for element, label in enumerate(labels):
+        out[label].append(element)
+    return tuple(tuple(block) for block in out)
+
+
+def from_pairs(n: int, pairs: Iterable[Tuple[int, int]]) -> Labels:
+    """Smallest equivalence relation on ``0..n-1`` containing ``pairs``."""
+    uf = UnionFind(n)
+    uf.add_pairs(pairs)
+    return uf.labels()
+
+
+def from_blocks(n: int, block_list: Iterable[Iterable[int]]) -> Labels:
+    """Partition whose non-singleton structure is given by ``block_list``.
+
+    Elements not mentioned become singletons.  Blocks may overlap (the
+    result is the equivalence closure), which keeps this convenient for
+    building test fixtures.
+    """
+    uf = UnionFind(n)
+    for block in block_list:
+        members = list(block)
+        for other in members[1:]:
+            uf.union(members[0], other)
+    return uf.labels()
+
+
+def join(a: Labels, b: Labels) -> Labels:
+    """Finest common coarsening (lattice join) of two partitions."""
+    n = len(a)
+    uf = UnionFind(n)
+    first_a: Dict[int, int] = {}
+    first_b: Dict[int, int] = {}
+    for element in range(n):
+        la, lb = a[element], b[element]
+        if la in first_a:
+            uf.union(first_a[la], element)
+        else:
+            first_a[la] = element
+        if lb in first_b:
+            uf.union(first_b[lb], element)
+        else:
+            first_b[lb] = element
+    return uf.labels()
+
+
+def join_many(parts: Sequence[Labels], n: int) -> Labels:
+    """Join of an arbitrary collection of partitions of ``0..n-1``."""
+    uf = UnionFind(n)
+    for labels in parts:
+        first: Dict[int, int] = {}
+        for element in range(n):
+            label = labels[element]
+            if label in first:
+                uf.union(first[label], element)
+            else:
+                first[label] = element
+    return uf.labels()
+
+
+def meet(a: Labels, b: Labels) -> Labels:
+    """Coarsest common refinement (lattice meet) of two partitions."""
+    mapping: Dict[Tuple[int, int], int] = {}
+    out: List[int] = []
+    for la, lb in zip(a, b):
+        key = (la, lb)
+        label = mapping.get(key)
+        if label is None:
+            label = len(mapping)
+            mapping[key] = label
+        out.append(label)
+    return tuple(out)
+
+
+def refines(a: Labels, b: Labels) -> bool:
+    """Return whether ``a <= b`` (every block of ``a`` is inside a block of ``b``)."""
+    seen: Dict[int, int] = {}
+    for la, lb in zip(a, b):
+        previous = seen.get(la)
+        if previous is None:
+            seen[la] = lb
+        elif previous != lb:
+            return False
+    return True
+
+
+def related(labels: Labels, x: int, y: int) -> bool:
+    """Return whether ``x`` and ``y`` are in the same block."""
+    return labels[x] == labels[y]
+
+
+def meet_is_identity(a: Labels, b: Labels) -> bool:
+    """Fast check that ``a ∧ b`` is the identity partition."""
+    seen = set()
+    for pair in zip(a, b):
+        if pair in seen:
+            return False
+        seen.add(pair)
+    return True
+
+
+def m_operator(succ: SuccTable, labels: Labels) -> Labels:
+    """The ``m`` operator: smallest ``theta`` with ``(labels, theta)`` a pair.
+
+    Constructively, ``m(pi)`` is the equivalence closure of all successor
+    pairs ``(delta(s, i), delta(t, i))`` with ``s ~pi t``.  It suffices to
+    chain each block through one representative.
+    """
+    n = len(labels)
+    uf = UnionFind(n)
+    n_inputs = len(succ[0]) if n else 0
+    representative: Dict[int, int] = {}
+    for state in range(n):
+        label = labels[state]
+        rep = representative.get(label)
+        if rep is None:
+            representative[label] = state
+            continue
+        row_rep = succ[rep]
+        row_state = succ[state]
+        for i in range(n_inputs):
+            uf.union(row_rep[i], row_state[i])
+    return uf.labels()
+
+
+def big_m_operator(succ: SuccTable, labels: Labels) -> Labels:
+    """The ``M`` operator: largest ``pi`` with ``(pi, labels)`` a pair.
+
+    Two states are related by ``M(theta)`` iff for every input their
+    successors are ``theta``-related, i.e. iff their successor *signature*
+    (tuple of successor block ids) is identical.  Grouping by signature
+    yields the partition directly; transitivity is inherited from equality
+    of signatures.
+    """
+    mapping: Dict[Tuple[int, ...], int] = {}
+    out: List[int] = []
+    for row in succ:
+        signature = tuple(labels[next_state] for next_state in row)
+        label = mapping.get(signature)
+        if label is None:
+            label = len(mapping)
+            mapping[signature] = label
+        out.append(label)
+    return tuple(out)
+
+
+def is_pair(succ: SuccTable, a: Labels, b: Labels) -> bool:
+    """Definition 4: is ``(a, b)`` a partition pair for the machine?
+
+    ``(s, t) in a  ==>  (delta(s,i), delta(t,i)) in b`` for all inputs ``i``.
+    Equivalently each ``a``-block maps under every input into a single
+    ``b``-block, which we check through per-block representatives.
+    """
+    n = len(a)
+    n_inputs = len(succ[0]) if n else 0
+    representative: Dict[int, int] = {}
+    for state in range(n):
+        label = a[state]
+        rep = representative.get(label)
+        if rep is None:
+            representative[label] = state
+            continue
+        row_rep = succ[rep]
+        row_state = succ[state]
+        for i in range(n_inputs):
+            if b[row_rep[i]] != b[row_state[i]]:
+                return False
+    return True
+
+
+def is_symmetric_pair(succ: SuccTable, a: Labels, b: Labels) -> bool:
+    """Is ``(a, b)`` a symmetric partition pair (both orders are pairs)?"""
+    return is_pair(succ, a, b) and is_pair(succ, b, a)
+
+
+def all_partitions(n: int) -> Iterable[Labels]:
+    """Yield every partition of ``0..n-1`` in canonical form.
+
+    Enumerates restricted growth strings; the count is the Bell number
+    ``B(n)``, so this is only for small ``n`` (reference/exhaustive search
+    and property tests).
+    """
+    if n == 0:
+        yield ()
+        return
+    labels = [0] * n
+    maxima = [0] * n
+
+    while True:
+        yield tuple(labels)
+        position = n - 1
+        while position > 0 and labels[position] == maxima[position - 1] + 1:
+            position -= 1
+        if position == 0:
+            return
+        labels[position] += 1
+        maxima[position] = max(maxima[position - 1], labels[position])
+        for tail in range(position + 1, n):
+            labels[tail] = 0
+            maxima[tail] = maxima[position]

@@ -1,0 +1,52 @@
+"""Plain-text table formatting in the paper's style.
+
+Shared by the benchmark harness, the CLI, and the examples, so every
+surface prints Table 1 / Table 2 the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+    align_left: Sequence[int] = (0,),
+) -> str:
+    """Render an ASCII table; column 0 is left-aligned by default."""
+    text_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    all_rows = [list(headers)] + text_rows
+    n_columns = max(len(row) for row in all_rows)
+    for row in all_rows:
+        row.extend([""] * (n_columns - len(row)))
+    widths = [max(len(row[c]) for row in all_rows) for c in range(n_columns)]
+
+    def render(row: Sequence[str]) -> str:
+        cells = []
+        for c, cell in enumerate(row):
+            if c in align_left:
+                cells.append(cell.ljust(widths[c]))
+            else:
+                cells.append(cell.rjust(widths[c]))
+        return "  ".join(cells).rstrip()
+
+    separator = "-" * (sum(widths) + 2 * (n_columns - 1))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(separator) if len(title) > len(separator) else separator)
+    lines.append(render(headers))
+    lines.append(separator)
+    lines.extend(render(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def format_percent(fraction: float) -> str:
+    return f"{100.0 * fraction:.1f}%"
+
+
+def flag(value: bool, mark: str = "*") -> str:
+    """The paper marks timed-out rows with ``*``."""
+    return mark if value else ""

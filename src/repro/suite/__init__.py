@@ -1,0 +1,48 @@
+"""Benchmark suite: stand-ins for the paper's Table-1 machines.
+
+``shiftreg`` and the Figure-5 running example are exact reconstructions;
+the remaining IWLS'93 machines are shape-matched synthetic substitutes
+(see DESIGN.md, section 3).
+"""
+
+from .generators import (
+    PlantedMachine,
+    full_product,
+    grid_embedded,
+    paper_example,
+    paper_example_pair,
+    shift_register,
+    two_coset,
+    unstructured,
+)
+from .registry import (
+    PAPER_TABLE1,
+    PaperRow,
+    SuiteEntry,
+    entries,
+    entry,
+    load,
+    load_paper_example,
+    load_planted,
+    names,
+)
+
+__all__ = [
+    "PlantedMachine",
+    "grid_embedded",
+    "full_product",
+    "two_coset",
+    "unstructured",
+    "shift_register",
+    "paper_example",
+    "paper_example_pair",
+    "PAPER_TABLE1",
+    "PaperRow",
+    "SuiteEntry",
+    "entry",
+    "entries",
+    "names",
+    "load",
+    "load_planted",
+    "load_paper_example",
+]

@@ -1,0 +1,493 @@
+"""Benchmark machine constructions.
+
+Three families, matching the substitution plan in DESIGN.md:
+
+* **Exact reconstructions** -- the paper's running example (Figure 5) and
+  the ``shiftreg`` benchmark (a 3-bit shift register by definition).
+* **Planted-decomposition machines** -- ``grid_embedded`` plants a
+  symmetric partition pair with chosen factor sizes ``(k1, k2)`` into a
+  machine with ``n <= k1*k2`` states: states are an injective subset
+  ``T ⊆ [k1] x [k2]`` closed under cross-coupled dynamics
+  ``(p, q) --i--> (g_i(q), f_i(p))``.  The row/column kernels then form a
+  symmetric partition pair with identity intersection by construction.
+  ``full_product`` is the special case ``T = [k1] x [k2]``.
+* **Unstructured machines** -- strongly connected reduced random machines,
+  which almost surely admit only the trivial OSTR solution; these stand in
+  for the benchmarks where the paper reports no nontrivial factorisation.
+
+All generators are deterministic in ``seed`` and verify their own promises
+(planted pair really is a symmetric Mm-pair with identity meet; machine is
+strongly connected and reduced), retrying internal random draws until the
+promises hold.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..exceptions import FsmError
+from ..fsm import MealyMachine, is_reduced, is_strongly_connected, random_mealy
+from ..partitions import Partition
+from ..partitions import kernel
+
+
+@dataclass(frozen=True)
+class PlantedMachine:
+    """A machine together with the symmetric partition pair planted in it."""
+
+    machine: MealyMachine
+    pi: Partition      # row kernel: |S/pi| = k1
+    theta: Partition   # column kernel: |S/theta| = k2
+
+
+def paper_example() -> MealyMachine:
+    """The running example of the paper (Figure 5), OCR-corrected.
+
+    The published table is internally consistent with Figures 6-8 once the
+    entry ``delta(2, 1)`` reads ``2/0`` (states ``1..4``, inputs ``1``/``0``):
+
+    ========  =======  =======
+     state     i = 1    i = 0
+    ========  =======  =======
+       1        3/1      1/1
+       2        2/0      4/0
+       3        1/1      3/0
+       4        4/0      2/1
+    ========  =======  =======
+
+    Its symmetric partition pair ``pi = {{1,2},{3,4}}``,
+    ``theta = {{1,4},{2,3}}`` reproduces Figure 6, and the induced factor
+    tables reproduce Figure 7 exactly (see the tests and the figure bench).
+    """
+    transitions = {
+        ("1", "1"): ("3", "1"),
+        ("1", "0"): ("1", "1"),
+        ("2", "1"): ("2", "0"),
+        ("2", "0"): ("4", "0"),
+        ("3", "1"): ("1", "1"),
+        ("3", "0"): ("3", "0"),
+        ("4", "1"): ("4", "0"),
+        ("4", "0"): ("2", "1"),
+    }
+    return MealyMachine(
+        "paper_example",
+        states=("1", "2", "3", "4"),
+        inputs=("1", "0"),
+        outputs=("1", "0"),
+        transitions=transitions,
+        reset_state="1",
+    )
+
+
+def paper_example_pair() -> Tuple[Partition, Partition]:
+    """The published symmetric partition pair of Figure 6."""
+    machine = paper_example()
+    pi = Partition.from_blocks(machine.states, [("1", "2"), ("3", "4")])
+    theta = Partition.from_blocks(machine.states, [("1", "4"), ("2", "3")])
+    return pi, theta
+
+
+def shift_register(n_bits: int = 3, name: Optional[str] = None) -> MealyMachine:
+    """The ``shiftreg`` benchmark: an ``n``-bit serial shift register.
+
+    States are the register contents (MSB first), the input bit is shifted
+    in at the LSB and the MSB is emitted.  For ``n_bits = 3`` this is the
+    IWLS'93 ``shiftreg`` machine (8 states, 1 input bit, 1 output bit,
+    16 transitions); its optimal pipeline factorisation is
+    ``(|S1|, |S2|) = (4, 2)`` via ``pi =`` kernel of ``(b2, b0)`` and
+    ``theta =`` kernel of ``b1``, exactly Table 1's row.
+    """
+    if n_bits < 1:
+        raise FsmError("shift register needs at least one bit")
+    states = [format(value, f"0{n_bits}b") for value in range(2 ** n_bits)]
+    transitions = {}
+    for state in states:
+        for bit in "01":
+            transitions[(state, bit)] = (state[1:] + bit, state[0])
+    return MealyMachine(
+        name if name is not None else f"shiftreg{n_bits}",
+        states,
+        ("0", "1"),
+        ("0", "1"),
+        transitions,
+        reset_state=states[0],
+    )
+
+
+def _grid_cells(
+    k1: int, k2: int, n_states: int, rng: random.Random
+) -> List[Tuple[int, int]]:
+    """An injective cell set with surjective projections, ``|T| = n_states``."""
+    rows = list(range(k1))
+    cols = list(range(k2))
+    rng.shuffle(rows)
+    rng.shuffle(cols)
+    base = max(k1, k2)
+    cells = [(rows[j % k1], cols[j % k2]) for j in range(base)]
+    cell_set = set(cells)
+    candidates = [
+        (p, q) for p in range(k1) for q in range(k2) if (p, q) not in cell_set
+    ]
+    rng.shuffle(candidates)
+    cells.extend(candidates[: n_states - base])
+    cells.sort()
+    return cells
+
+
+def _cross_maps(
+    cells: List[Tuple[int, int]],
+    k1: int,
+    k2: int,
+    rng: random.Random,
+    tries: int = 200,
+) -> Optional[Tuple[List[int], List[int]]]:
+    """Find ``f: [k1]->[k2]`` and ``g: [k2]->[k1]`` with the closure property.
+
+    Closure: ``(p, q) in T  =>  (g(q), f(p)) in T``.  A fully random draw
+    almost never satisfies the coupled constraints on sparse grids, so we
+    solve a small CSP per try:
+
+    1. For every *hard* row ``p`` (a row with >= 2 cells) choose a target
+       column ``c_p = f(p)`` and constrain ``g(q)`` to ``rows_of(c_p)`` for
+       each column ``q`` in that row: then all of ``p``'s cells land in
+       column ``c_p`` on rows where that column has cells.
+    2. Pick each ``g(q)`` from the intersection of its accumulated
+       constraints (any row if unconstrained).
+    3. Single-cell rows ``p`` with cell ``(p, q)`` take ``f(p)`` from the
+       columns of row ``g(q)``, which is non-empty because the cell set has
+       surjective projections.
+
+    A final closure assertion re-checks every cell, so an accepted result
+    is sound regardless of the search path.
+    """
+    cell_set = set(cells)
+    cols_of_row: Dict[int, List[int]] = {p: [] for p in range(k1)}
+    rows_of_col: Dict[int, List[int]] = {q: [] for q in range(k2)}
+    for p, q in cells:
+        cols_of_row[p].append(q)
+        rows_of_col[q].append(p)
+    hard_rows = [p for p in range(k1) if len(cols_of_row[p]) >= 2]
+    columns = list(range(k2))
+
+    for _ in range(tries):
+        f: List[Optional[int]] = [None] * k1
+        allowed_g: Dict[int, set] = {}
+        feasible = True
+        for p in hard_rows:
+            target = rng.randrange(k2)
+            f[p] = target
+            target_rows = set(rows_of_col[target])
+            for q in cols_of_row[p]:
+                current = allowed_g.get(q)
+                allowed_g[q] = (
+                    target_rows if current is None else current & target_rows
+                )
+                if not allowed_g[q]:
+                    feasible = False
+                    break
+            if not feasible:
+                break
+        if not feasible:
+            continue
+        g = [
+            rng.choice(sorted(allowed_g[q])) if q in allowed_g else rng.randrange(k1)
+            for q in columns
+        ]
+        for p in range(k1):
+            if f[p] is None:
+                if cols_of_row[p]:
+                    q = cols_of_row[p][0]
+                    f[p] = rng.choice(cols_of_row[g[q]])
+                else:  # row unused by T (cannot happen with surjective T)
+                    f[p] = rng.randrange(k2)
+        if all((g[q], f[p]) in cell_set for p, q in cells):
+            return [int(x) for x in f], g
+    return None
+
+
+def grid_embedded(
+    k1: int,
+    k2: int,
+    n_states: int,
+    n_inputs: int = 2,
+    n_outputs: int = 2,
+    seed: int = 0,
+    name: Optional[str] = None,
+    max_tries: int = 300,
+) -> PlantedMachine:
+    """A machine with a planted symmetric pair of factor sizes ``(k1, k2)``.
+
+    Guarantees on the returned machine:
+
+    * strongly connected and reduced;
+    * the row/column kernels ``(pi, theta)`` form a symmetric partition
+      pair with ``pi ∧ theta = identity`` and block counts exactly
+      ``(k1, k2)``;
+    * ``(pi, theta)`` is additionally an **Mm-pair** (``M(theta) = pi`` and
+      ``m(pi) = theta``), so the paper's search procedure can reach it (its
+      node is the join of basis elements over row-related state pairs).
+    """
+    if not (max(k1, k2) <= n_states <= k1 * k2):
+        raise FsmError(
+            f"need max(k1,k2) <= n_states <= k1*k2, got ({k1}, {k2}, {n_states})"
+        )
+    rng = random.Random(seed)
+    for _ in range(max_tries):
+        cells = _grid_cells(k1, k2, n_states, rng)
+        maps = [
+            _cross_maps(cells, k1, k2, rng) for _ in range(n_inputs)
+        ]
+        if any(entry is None for entry in maps):
+            continue
+        cell_index = {cell: position for position, cell in enumerate(cells)}
+        succ = [[0] * n_inputs for _ in range(n_states)]
+        for position, (p, q) in enumerate(cells):
+            for i, (f, g) in enumerate(maps):
+                succ[position][i] = cell_index[(g[q], f[p])]
+        out = [
+            [rng.randrange(n_outputs) for _ in range(n_inputs)]
+            for _ in range(n_states)
+        ]
+        machine = MealyMachine.from_tables(
+            name if name is not None else f"grid{k1}x{k2}_{n_states}",
+            [f"s{position}" for position in range(n_states)],
+            [f"i{i}" for i in range(n_inputs)],
+            [f"o{o}" for o in range(n_outputs)],
+            succ,
+            out,
+        )
+        planted = _planted_pair(machine, cells, k1, k2)
+        if planted is None:
+            continue
+        if not is_strongly_connected(machine) or not is_reduced(machine):
+            continue
+        return PlantedMachine(machine, *planted)
+    raise FsmError(
+        f"grid_embedded({k1}, {k2}, {n_states}, seed={seed}) failed after "
+        f"{max_tries} attempts; try a different seed"
+    )
+
+
+def _planted_pair(
+    machine: MealyMachine, cells: List[Tuple[int, int]], k1: int, k2: int
+) -> Optional[Tuple[Partition, Partition]]:
+    """Validate and return the planted (row-kernel, column-kernel) pair."""
+    row_labels = kernel.canonical([p for p, _ in cells])
+    col_labels = kernel.canonical([q for _, q in cells])
+    if kernel.num_blocks(row_labels) != k1 or kernel.num_blocks(col_labels) != k2:
+        return None
+    succ = machine.succ_table
+    if not kernel.is_symmetric_pair(succ, row_labels, col_labels):
+        return None
+    if not kernel.meet_is_identity(row_labels, col_labels):
+        return None
+    # Require an Mm-pair so the DFS can reach it (see docstring).
+    if kernel.big_m_operator(succ, col_labels) != row_labels:
+        return None
+    if kernel.m_operator(succ, row_labels) != col_labels:
+        return None
+    return (
+        Partition(machine.states, row_labels),
+        Partition(machine.states, col_labels),
+    )
+
+
+def full_product(
+    k1: int,
+    k2: int,
+    n_inputs: int = 2,
+    n_outputs: int = 2,
+    seed: int = 0,
+    name: Optional[str] = None,
+    max_tries: int = 300,
+) -> PlantedMachine:
+    """A fully decomposable machine: every ``(p, q)`` cell is a state."""
+    return grid_embedded(
+        k1,
+        k2,
+        k1 * k2,
+        n_inputs=n_inputs,
+        n_outputs=n_outputs,
+        seed=seed,
+        name=name if name is not None else f"product{k1}x{k2}",
+        max_tries=max_tries,
+    )
+
+
+def two_coset(
+    k: int,
+    n_inputs: int = 2,
+    n_outputs: int = 2,
+    seed: int = 0,
+    name: Optional[str] = None,
+    max_tries: int = 200,
+) -> PlantedMachine:
+    """An affine machine on two cosets: ``2k`` states with planted ``(k, k)``.
+
+    States are the pairs ``(x, y) in Z_k x Z_k`` with ``x - y ≡ ±d (mod
+    k)``; the dynamics are ``(x, y) --i--> (y + a_i, x + a_i)``, which swap
+    the coordinate roles and therefore flip the sign of ``x - y``: the
+    two-coset cell set is closed under them.  The row/column kernels form a
+    symmetric partition pair with factor sizes exactly ``(k, k)`` and, by
+    the affine structure, an Mm-pair: the successor-column signature of a
+    state is ``(x + a_i)_i``, which separates rows, and the successor pairs
+    of row-mates sweep every column's two states.
+
+    This is the construction for dense ``n = 2k`` embeddings (the ``tbk``
+    row of Table 1), where the generic sparse-grid CSP of
+    :func:`grid_embedded` is infeasible.
+    """
+    if k < 3:
+        raise FsmError("two_coset needs k >= 3")
+    if n_inputs < 2:
+        raise FsmError("two_coset needs at least two inputs for connectivity")
+    rng = random.Random(seed)
+    valid_offsets = [x for x in range(1, k) if (2 * x) % k != 0]
+    if not valid_offsets:
+        raise FsmError(f"no valid coset offset for k={k}")
+
+    for _ in range(max_tries):
+        offset = rng.choice(valid_offsets)
+        # a_0 = 0 and a_1 = 1 guarantee strong connectivity (two-step moves
+        # generate Z_k); the remaining shifts are free.
+        shifts = [0, 1] + [rng.randrange(k) for _ in range(n_inputs - 2)]
+        cells = sorted(
+            {(x, (x - offset) % k) for x in range(k)}
+            | {(x, (x + offset) % k) for x in range(k)}
+        )
+        cell_index = {cell: position for position, cell in enumerate(cells)}
+        succ = [
+            [
+                cell_index[((y + a) % k, (x + a) % k)]
+                for a in shifts
+            ]
+            for (x, y) in cells
+        ]
+        out = [
+            [rng.randrange(n_outputs) for _ in range(n_inputs)]
+            for _ in range(len(cells))
+        ]
+        machine = MealyMachine.from_tables(
+            name if name is not None else f"twocoset{k}",
+            [f"s{position}" for position in range(len(cells))],
+            [f"i{i}" for i in range(n_inputs)],
+            [f"o{o}" for o in range(n_outputs)],
+            succ,
+            out,
+        )
+        planted = _planted_pair(machine, cells, k, k)
+        if planted is None:
+            continue
+        if not is_strongly_connected(machine) or not is_reduced(machine):
+            continue
+        return PlantedMachine(machine, *planted)
+    raise FsmError(
+        f"two_coset({k}, seed={seed}) failed after {max_tries} attempts"
+    )
+
+
+def merged_roles_machine(
+    seed: int = 0, name: Optional[str] = None, max_tries: int = 400
+) -> MealyMachine:
+    """A machine whose OSTR optimum improves after one state split.
+
+    Construction: a fully decomposable 3x2 product machine in which the
+    two states ``(1, 0)`` and ``(2, 0)`` are *equivalent* by design
+    (identical successor and output rows), then merged.  The merged state
+    plays two structural roles -- it sits in two different rows of the
+    grid -- so the 5-state machine has no nontrivial symmetric partition
+    pair, while splitting the merged state back apart recovers the 3x2
+    factorisation (3 flip-flops instead of 6).
+
+    This is the paper's Section-5 "future work" scenario made concrete;
+    see :mod:`repro.ostr.splitting`.
+    """
+    rng = random.Random(seed)
+    k1, k2 = 3, 2
+    for _ in range(max_tries):
+        # f collides on rows 1 and 2; g arbitrary.
+        f = [[rng.randrange(k2) for _ in range(k1)] for _ in range(2)]
+        for i in range(2):
+            f[i][2] = f[i][1]
+        g = [[rng.randrange(k1) for _ in range(k2)] for _ in range(2)]
+        cells = [(p, q) for p in range(k1) for q in range(k2)]
+        cell_index = {cell: position for position, cell in enumerate(cells)}
+        succ = [
+            [cell_index[(g[i][q], f[i][p])] for i in range(2)]
+            for (p, q) in cells
+        ]
+        out = [[rng.randrange(2) for _ in range(2)] for _ in range(len(cells))]
+        # Make (1,0) and (2,0) identical, and (1,1) vs (2,1) distinct.
+        out[cell_index[(2, 0)]] = list(out[cell_index[(1, 0)]])
+        out[cell_index[(2, 1)]][0] = 1 - out[cell_index[(1, 1)]][0]
+
+        machine = MealyMachine.from_tables(
+            "pre_merge",
+            [f"c{p}{q}" for (p, q) in cells],
+            ["i0", "i1"],
+            ["o0", "o1"],
+            succ,
+            out,
+        )
+        # The designed pair must be the *only* equivalence.
+        from ..fsm.equivalence import equivalence_labels
+
+        labels = kernel.canonical(equivalence_labels(machine))
+        if kernel.num_blocks(labels) != len(cells) - 1:
+            continue
+        a = machine.state_index("c10")
+        b = machine.state_index("c20")
+        if labels[a] != labels[b]:
+            continue
+        merged = _merge_states(machine, "c10", "c20",
+                               name if name is not None else f"merged{seed}")
+        if not is_strongly_connected(merged) or not is_reduced(merged):
+            continue
+        return merged
+    raise FsmError(f"merged_roles_machine(seed={seed}) failed; try another seed")
+
+
+def _merge_states(machine: MealyMachine, keep, drop, name: str) -> MealyMachine:
+    """Merge two states with identical rows (callers guarantee equivalence)."""
+    keep_index = machine.state_index(keep)
+    drop_index = machine.state_index(drop)
+    states = [s for s in machine.states if s != drop]
+
+    def remap(index: int) -> int:
+        if index == drop_index:
+            index = keep_index
+        return index - 1 if index > drop_index else index
+
+    succ = []
+    out = []
+    for position in range(machine.n_states):
+        if position == drop_index:
+            continue
+        succ.append([remap(t) for t in machine.succ_table[position]])
+        out.append(list(machine.out_table[position]))
+    reset = machine.reset_state if machine.reset_state != drop else keep
+    return MealyMachine.from_tables(
+        name, states, machine.inputs, machine.outputs, succ, out,
+        reset_state=reset,
+    )
+
+
+def unstructured(
+    n_states: int,
+    n_inputs: int = 2,
+    n_outputs: int = 2,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> MealyMachine:
+    """A strongly connected, reduced random machine (trivial-solution family)."""
+    return random_mealy(
+        n_states,
+        n_inputs,
+        n_outputs,
+        seed=seed,
+        name=name,
+        ensure_connected=True,
+        ensure_reduced=True,
+    )

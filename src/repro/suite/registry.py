@@ -1,0 +1,247 @@
+"""The benchmark registry: one entry per row of the paper's Table 1.
+
+Each entry records the paper's published numbers, how the stand-in machine
+is constructed (see DESIGN.md section 3 for the substitution rationale),
+and the search options used by the Table-1/Table-2 benches (the paper ran
+``tbk`` under a time limit and flagged the row with ``*``; we do the same
+through node limits so runs are deterministic).
+
+Machines are cached after first construction; seeds are pinned so every
+run of the suite sees identical machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..exceptions import ReproError
+from ..fsm import MealyMachine
+from .generators import (
+    PlantedMachine,
+    full_product,
+    grid_embedded,
+    paper_example,
+    shift_register,
+    two_coset,
+    unstructured,
+)
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """A row of Table 1 as published (our ground truth for the shape)."""
+
+    name: str
+    n_states: int
+    s1: int
+    s2: int
+    conventional_ff: int
+    pipeline_ff: int
+    timeout: bool = False
+
+    @property
+    def nontrivial(self) -> bool:
+        return self.s1 < self.n_states or self.s2 < self.n_states
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """A benchmark machine with its paper row and bench configuration."""
+
+    name: str
+    category: str  # "exact" | "planted" | "unstructured"
+    description: str
+    paper: PaperRow
+    builder: Callable[[], object]  # -> MealyMachine or PlantedMachine
+    search_kwargs: Dict = field(default_factory=dict)
+
+    def load(self) -> MealyMachine:
+        built = self.builder()
+        if isinstance(built, PlantedMachine):
+            return built.machine
+        return built
+
+    def load_planted(self) -> Optional[PlantedMachine]:
+        built = self.builder()
+        if isinstance(built, PlantedMachine):
+            return built
+        return None
+
+
+PAPER_TABLE1: Tuple[PaperRow, ...] = (
+    PaperRow("bbara", 10, 7, 7, 8, 6),
+    PaperRow("bbtas", 6, 6, 6, 6, 6),
+    PaperRow("dk14", 7, 7, 7, 6, 6),
+    PaperRow("dk15", 4, 4, 4, 4, 4),
+    PaperRow("dk16", 27, 24, 24, 10, 10),
+    PaperRow("dk17", 8, 8, 8, 6, 6),
+    PaperRow("dk27", 7, 6, 7, 6, 6),
+    PaperRow("dk512", 15, 14, 15, 8, 8),
+    PaperRow("mc", 4, 4, 4, 4, 4),
+    PaperRow("s1", 20, 20, 20, 10, 10),
+    PaperRow("shiftreg", 8, 4, 2, 6, 3),
+    PaperRow("tav", 4, 2, 2, 4, 2),
+    PaperRow("tbk", 32, 16, 16, 10, 8, timeout=True),
+)
+
+_ROWS = {row.name: row for row in PAPER_TABLE1}
+
+# Seeds are pinned; the generators verify their own promises (planted pair
+# is a symmetric Mm-pair with identity meet, machine strongly connected and
+# reduced), so a successful import of this table is itself a sanity check.
+_ENTRIES: Tuple[SuiteEntry, ...] = (
+    SuiteEntry(
+        "bbara",
+        "planted",
+        "shape-matched stand-in: 10 states embedded in a 7x7 grid",
+        _ROWS["bbara"],
+        lambda: grid_embedded(7, 7, 10, n_inputs=4, n_outputs=2, seed=11, name="bbara"),
+    ),
+    SuiteEntry(
+        "bbtas",
+        "unstructured",
+        "shape-matched stand-in: random reduced machine, 6 states",
+        _ROWS["bbtas"],
+        lambda: unstructured(6, n_inputs=4, n_outputs=2, seed=21, name="bbtas"),
+    ),
+    SuiteEntry(
+        "dk14",
+        "unstructured",
+        "shape-matched stand-in: random reduced machine, 7 states",
+        _ROWS["dk14"],
+        lambda: unstructured(7, n_inputs=8, n_outputs=5, seed=31, name="dk14"),
+    ),
+    SuiteEntry(
+        "dk15",
+        "unstructured",
+        "shape-matched stand-in: random reduced machine, 4 states",
+        _ROWS["dk15"],
+        lambda: unstructured(4, n_inputs=8, n_outputs=5, seed=41, name="dk15"),
+    ),
+    SuiteEntry(
+        "dk16",
+        "planted",
+        "shape-matched stand-in: 27 states embedded in a 24x24 grid",
+        _ROWS["dk16"],
+        lambda: grid_embedded(
+            24, 24, 27, n_inputs=3, n_outputs=3, seed=18, max_tries=2000,
+            name="dk16",
+        ),
+        # The full pruned tree for this stand-in has ~5.0M nodes and takes
+        # ~3 minutes to exhaust (yielding the same (24,24) solution); the
+        # bench runs under a node limit.  "fine_first" ordering reaches the
+        # planted factorisation early (see the ablation bench).
+        search_kwargs={"node_limit": 400_000, "basis_order": "fine_first"},
+    ),
+    SuiteEntry(
+        "dk17",
+        "unstructured",
+        "shape-matched stand-in: random reduced machine, 8 states",
+        _ROWS["dk17"],
+        lambda: unstructured(8, n_inputs=4, n_outputs=3, seed=61, name="dk17"),
+    ),
+    SuiteEntry(
+        "dk27",
+        "planted",
+        "shape-matched stand-in: 7 states embedded in a 6x7 grid",
+        _ROWS["dk27"],
+        lambda: grid_embedded(6, 7, 7, n_inputs=2, n_outputs=2, seed=71, name="dk27"),
+    ),
+    SuiteEntry(
+        "dk512",
+        "planted",
+        "shape-matched stand-in: 15 states embedded in a 14x15 grid",
+        _ROWS["dk512"],
+        lambda: grid_embedded(
+            14, 15, 15, n_inputs=2, n_outputs=3, seed=81, name="dk512"
+        ),
+        search_kwargs={"node_limit": 400_000},
+    ),
+    SuiteEntry(
+        "mc",
+        "unstructured",
+        "shape-matched stand-in: random reduced machine, 4 states",
+        _ROWS["mc"],
+        lambda: unstructured(4, n_inputs=8, n_outputs=5, seed=91, name="mc"),
+    ),
+    SuiteEntry(
+        "s1",
+        "unstructured",
+        "shape-matched stand-in: random reduced machine, 20 states",
+        _ROWS["s1"],
+        lambda: unstructured(20, n_inputs=8, n_outputs=6, seed=101, name="s1"),
+        search_kwargs={"node_limit": 400_000},
+    ),
+    SuiteEntry(
+        "shiftreg",
+        "exact",
+        "exact reconstruction: 3-bit serial shift register",
+        _ROWS["shiftreg"],
+        lambda: shift_register(3, name="shiftreg"),
+    ),
+    SuiteEntry(
+        "tav",
+        "planted",
+        "shape-matched stand-in: full 2x2 product machine",
+        _ROWS["tav"],
+        lambda: full_product(2, 2, n_inputs=4, n_outputs=4, seed=111, name="tav"),
+    ),
+    SuiteEntry(
+        "tbk",
+        "planted",
+        "shape-matched stand-in: 32 states embedded in a 16x16 grid "
+        "(searched under a node limit, like the paper's timeout)",
+        _ROWS["tbk"],
+        lambda: two_coset(16, n_inputs=4, n_outputs=3, seed=7, name="tbk"),
+        search_kwargs={"node_limit": 120_000},
+    ),
+)
+
+_BY_NAME = {entry.name: entry for entry in _ENTRIES}
+_MACHINE_CACHE: Dict[str, object] = {}
+
+
+def entry(name: str) -> SuiteEntry:
+    """The suite entry for a Table-1 benchmark name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError as exc:
+        raise ReproError(
+            f"unknown benchmark {name!r}; available: {sorted(_BY_NAME)}"
+        ) from exc
+
+
+def names() -> List[str]:
+    """All benchmark names, in Table-1 order."""
+    return [suite_entry.name for suite_entry in _ENTRIES]
+
+
+def entries() -> Tuple[SuiteEntry, ...]:
+    """All suite entries, in Table-1 order."""
+    return _ENTRIES
+
+
+def _built(name: str):
+    if name not in _MACHINE_CACHE:
+        _MACHINE_CACHE[name] = entry(name).builder()
+    return _MACHINE_CACHE[name]
+
+
+def load(name: str) -> MealyMachine:
+    """Load (and cache) a benchmark machine by name."""
+    built = _built(name)
+    if isinstance(built, PlantedMachine):
+        return built.machine
+    return built
+
+
+def load_planted(name: str) -> Optional[PlantedMachine]:
+    """Load the planted decomposition, if this benchmark has one."""
+    built = _built(name)
+    return built if isinstance(built, PlantedMachine) else None
+
+
+def load_paper_example() -> MealyMachine:
+    """The Figure-5 running example (not part of Table 1)."""
+    return paper_example()

@@ -1,0 +1,52 @@
+"""Tests for signature-aliasing analysis."""
+
+import pytest
+
+from repro.analysis import (
+    empirical_aliasing,
+    register_recommendation,
+    theoretical_aliasing,
+)
+from repro.exceptions import BistError
+
+
+class TestTheoretical:
+    def test_values(self):
+        assert theoretical_aliasing(1) == 0.5
+        assert theoretical_aliasing(4) == 0.0625
+        assert theoretical_aliasing(16) == 2.0 ** -16
+
+    def test_invalid_width(self):
+        with pytest.raises(BistError):
+            theoretical_aliasing(0)
+
+
+class TestEmpirical:
+    @pytest.mark.parametrize("width", [1, 2, 4, 8])
+    def test_matches_theory(self, width):
+        estimate = empirical_aliasing(width, stream_length=48, trials=4000, seed=3)
+        expected = theoretical_aliasing(width)
+        # Allow generous Monte-Carlo slack (3-sigma-ish of a binomial).
+        sigma = (expected * (1 - expected) / estimate.trials) ** 0.5
+        assert abs(estimate.rate - expected) <= max(4 * sigma, 0.01)
+
+    def test_deterministic_in_seed(self):
+        a = empirical_aliasing(4, trials=500, seed=9)
+        b = empirical_aliasing(4, trials=500, seed=9)
+        assert a.aliased == b.aliased
+
+    def test_invalid_parameters(self):
+        with pytest.raises(BistError):
+            empirical_aliasing(4, stream_length=0)
+        with pytest.raises(BistError):
+            empirical_aliasing(4, trials=0)
+
+
+class TestRecommendation:
+    def test_narrow_registers_flagged(self):
+        assert "too narrow" in register_recommendation(1)
+        assert "too narrow" in register_recommendation(2)
+
+    def test_wide_registers_accepted(self):
+        assert "acceptable" in register_recommendation(4)
+        assert "acceptable" in register_recommendation(16)

@@ -1,0 +1,76 @@
+"""Tests for the BILBO multifunctional register."""
+
+import pytest
+
+from repro.bist import Bilbo, BilboMode, Lfsr, Misr
+from repro.exceptions import BistError
+
+
+class TestModes:
+    def test_normal_mode_loads(self):
+        register = Bilbo(4)
+        register.clock(data=0b1011)
+        assert register.state == 0b1011
+
+    def test_normal_needs_data(self):
+        with pytest.raises(BistError):
+            Bilbo(4).clock()
+
+    def test_prpg_matches_lfsr(self):
+        register = Bilbo(5, mode=BilboMode.PRPG)
+        register.load(1)
+        reference = Lfsr(5, seed=1)
+        for _ in range(40):
+            assert register.clock() == reference.step()
+
+    def test_prpg_lockup_detected(self):
+        register = Bilbo(4, mode=BilboMode.PRPG)
+        with pytest.raises(BistError, match="lock"):
+            register.clock()
+
+    def test_misr_matches_misr(self):
+        register = Bilbo(4, mode=BilboMode.MISR)
+        reference = Misr(4)
+        for value in (3, 9, 14, 2, 7):
+            register.clock(data=value)
+            reference.absorb(value)
+        assert register.state == reference.signature
+
+    def test_shift_mode(self):
+        register = Bilbo(3, mode=BilboMode.SHIFT)
+        register.load(0b000)
+        register.clock(scan_in=1)
+        register.clock(scan_in=0)
+        register.clock(scan_in=1)
+        assert register.state == 0b101
+        assert register.scan_out == 1
+
+    def test_shift_rejects_bad_scan_in(self):
+        with pytest.raises(BistError):
+            Bilbo(3, mode=BilboMode.SHIFT).clock(scan_in=2)
+
+    def test_hold_and_reset(self):
+        register = Bilbo(4)
+        register.clock(data=9)
+        register.set_mode(BilboMode.HOLD)
+        register.clock()
+        assert register.state == 9
+        register.set_mode(BilboMode.RESET)
+        register.clock()
+        assert register.state == 0
+
+    def test_width_one_prpg_toggles(self):
+        register = Bilbo(1, mode=BilboMode.PRPG)
+        register.load(1)
+        assert register.clock() == 0
+        assert register.clock() == 1
+
+    def test_load_range_checked(self):
+        with pytest.raises(BistError):
+            Bilbo(3).load(8)
+
+    def test_bits_and_repr(self):
+        register = Bilbo(4)
+        register.load(0b0110)
+        assert register.bits() == (0, 1, 1, 0)
+        assert "width=4" in repr(register)

@@ -1,0 +1,149 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestList:
+    def test_lists_all_benchmarks(self, capsys):
+        code, out, _ = run_cli(capsys, "list")
+        assert code == 0
+        for name in ("bbara", "tbk", "shiftreg"):
+            assert name in out
+
+
+class TestInfo:
+    def test_suite_name(self, capsys):
+        code, out, _ = run_cli(capsys, "info", "shiftreg")
+        assert code == 0
+        assert "states:      8" in out
+        assert "reduced:     True" in out
+
+    def test_paper_example_with_table(self, capsys):
+        code, out, _ = run_cli(capsys, "info", "paper_example", "--table")
+        assert code == 0
+        assert "3/1" in out
+
+    def test_kiss_file(self, capsys, tmp_path):
+        from repro.fsm import kiss
+        from repro.suite import shift_register
+
+        path = tmp_path / "sr.kiss"
+        kiss.dump(shift_register(3), path)
+        code, out, _ = run_cli(capsys, "info", str(path))
+        assert code == 0
+        assert "states:      8" in out
+
+    def test_missing_file_errors(self, capsys):
+        with pytest.raises(OSError):
+            run_cli(capsys, "info", "/nonexistent/machine.kiss")
+
+
+class TestSynth:
+    def test_paper_example(self, capsys):
+        code, out, _ = run_cli(capsys, "synth", "paper_example")
+        assert code == 0
+        assert "|S1|=2, |S2|=2" in out
+        assert "delta1" in out
+
+    def test_write_kiss(self, capsys, tmp_path):
+        target = tmp_path / "out.kiss"
+        code, out, _ = run_cli(capsys, "synth", "tav", "-o", str(target))
+        assert code == 0
+        assert target.exists()
+        from repro.fsm import kiss
+
+        realized = kiss.load(target)
+        assert realized.n_states == 4  # 2 x 2
+
+    def test_policy_and_limits(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "synth", "shiftreg", "--policy", "extended",
+            "--node-limit", "50",
+        )
+        assert code == 0
+
+
+class TestTables:
+    def test_table1_subset(self, capsys):
+        code, out, _ = run_cli(capsys, "table1", "tav", "shiftreg")
+        assert code == 0
+        assert "Table 1" in out
+        assert "shiftreg" in out and "tav" in out
+        assert "bbara" not in out
+
+    def test_table2_subset(self, capsys):
+        code, out, _ = run_cli(capsys, "table2", "tav")
+        assert code == 0
+        assert "2^" in out
+
+
+class TestArchAndCoverage:
+    def test_arch(self, capsys):
+        code, out, _ = run_cli(capsys, "arch", "paper_example")
+        assert code == 0
+        assert "Fig.4" in out
+
+    def test_coverage(self, capsys):
+        code, out, _ = run_cli(capsys, "coverage", "paper_example")
+        assert code == 0
+        assert "coverage" in out
+
+
+class TestExample:
+    def test_worked_example(self, capsys):
+        code, out, _ = run_cli(capsys, "example")
+        assert code == 0
+        assert "Figure 6" in out
+        assert "True" in out  # found the published pair
+
+
+class TestExport:
+    def test_verilog_to_stdout(self, capsys):
+        code, out, _ = run_cli(capsys, "export", "shiftreg")
+        assert code == 0
+        assert "module" in out and "endmodule" in out
+        assert "posedge clk" in out
+
+    def test_blif_to_file(self, capsys, tmp_path):
+        target = tmp_path / "tav.blif"
+        code, out, _ = run_cli(
+            capsys, "export", "tav", "--format", "blif", "-o", str(target)
+        )
+        assert code == 0
+        content = target.read_text()
+        assert content.count(".model") == 3  # c1, c2, lambda
+        assert "written to" in out
+
+
+class TestSplit:
+    def test_no_improvement_case(self, capsys):
+        code, out, _ = run_cli(capsys, "split", "paper_example")
+        assert code == 0
+        assert "no helpful split" in out
+
+    def test_improvement_case(self, capsys, tmp_path):
+        from repro.fsm import kiss
+        from repro.suite.generators import merged_roles_machine
+
+        path = tmp_path / "merged.kiss"
+        kiss.dump(merged_roles_machine(seed=0), path)
+        code, out, _ = run_cli(capsys, "split", str(path))
+        assert code == 0
+        assert "after splitting" in out
+        assert "-> 3 flip-flops" in out
+
+
+class TestScoap:
+    def test_report(self, capsys):
+        code, out, _ = run_cli(capsys, "scoap", "tav", "--top", "2")
+        assert code == 0
+        assert "SCOAP score" in out
+        assert "C1" in out and "lambda" in out

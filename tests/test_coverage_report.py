@@ -1,0 +1,56 @@
+"""Tests for the coverage report container."""
+
+from repro.faults import CoverageReport, measure_coverage
+from repro.netlist import Fault
+
+
+class TestCoverageReport:
+    def test_percentages(self):
+        report = CoverageReport(architecture="x", total=10, detected=7)
+        assert report.coverage == 0.7
+
+    def test_empty_universe(self):
+        report = CoverageReport(architecture="x", total=0, detected=0)
+        assert report.coverage == 1.0
+
+    def test_block_coverage(self):
+        report = CoverageReport(
+            architecture="x",
+            total=10,
+            detected=7,
+            by_block={"C1": (4, 5), "C2": (3, 5)},
+        )
+        assert report.block_coverage("C1") == 0.8
+        assert report.block_coverage("missing") == 1.0
+
+    def test_summary_format(self):
+        report = CoverageReport(
+            architecture="Pipe", total=4, detected=2, by_block={"C": (2, 4)}
+        )
+        text = report.summary()
+        assert "Pipe" in text and "2/4" in text and "50.0%" in text
+
+
+class FakeController:
+    """Protocol stub: 3 faults, one of which aliases."""
+
+    def fault_universe(self):
+        return [
+            ("B", Fault(net="n0", stuck_at=0)),
+            ("B", Fault(net="n1", stuck_at=0)),
+            ("B", Fault(net="alias", stuck_at=1)),
+        ]
+
+    def self_test_signatures(self, fault=None, cycles=None, seed=1):
+        if fault is None or fault[1].net == "alias":
+            return (0xBEEF,)
+        return (hash(fault[1].net) & 0xFFFF,)
+
+
+def test_measure_coverage_protocol():
+    report = measure_coverage(FakeController())
+    assert report.total == 3
+    assert report.detected == 2
+    assert len(report.undetected) == 1
+    assert report.undetected[0][1].net == "alias"
+    assert report.by_block["B"] == (2, 3)

@@ -1,0 +1,65 @@
+"""Tests for DOT export."""
+
+import pytest
+
+from repro.exceptions import FsmError
+from repro.fsm.dot import machine_to_dot, pair_to_dot
+from repro.partitions import Partition
+
+
+class TestMachineToDot:
+    def test_basic_structure(self, example_machine):
+        text = machine_to_dot(example_machine)
+        assert text.startswith("digraph")
+        assert text.rstrip().endswith("}")
+        for state in example_machine.states:
+            assert f'"{state}"' in text
+
+    def test_edges_merged_with_labels(self, example_machine):
+        text = machine_to_dot(example_machine)
+        # delta(3,1)=1 and delta(1,0)=1 produce labelled edges.
+        assert '"3" -> "1"' in text
+        assert "1/1" in text
+
+    def test_reset_state_highlighted(self, example_machine):
+        text = machine_to_dot(example_machine)
+        reset_line = next(
+            line for line in text.splitlines() if line.strip().startswith('"1" [')
+        )
+        assert "penwidth=2" in reset_line
+
+    def test_partition_colours(self, example_machine, example_pair):
+        pi, _ = example_pair
+        text = machine_to_dot(example_machine, partition=pi)
+        assert "fillcolor=" in text
+
+    def test_partition_universe_checked(self, example_machine):
+        with pytest.raises(FsmError):
+            machine_to_dot(
+                example_machine, partition=Partition.identity(("a", "b"))
+            )
+
+    def test_balanced_braces(self, shiftreg):
+        text = machine_to_dot(shiftreg)
+        assert text.count("{") == text.count("}")
+
+
+class TestPairToDot:
+    def test_clusters_per_pi_block(self, example_machine, example_pair):
+        text = pair_to_dot(example_machine, *example_pair)
+        assert text.count("subgraph cluster_pi") == 2
+        assert "pi block" in text
+
+    def test_all_states_present(self, example_machine, example_pair):
+        text = pair_to_dot(example_machine, *example_pair)
+        for state in example_machine.states:
+            assert f'"{state}"' in text
+
+    def test_universe_checked(self, example_machine, example_pair):
+        pi, _ = example_pair
+        with pytest.raises(FsmError):
+            pair_to_dot(example_machine, pi, Partition.identity(("x", "y")))
+
+    def test_balanced_braces(self, example_machine, example_pair):
+        text = pair_to_dot(example_machine, *example_pair)
+        assert text.count("{") >= text.count("}")  # labels contain '{'

@@ -1,0 +1,130 @@
+"""Tests for encodings and bit-level machine views."""
+
+import pytest
+
+from repro.encoding import (
+    EncodedRealization,
+    binary_encoding,
+    code_width,
+    encode_machine,
+    encode_realization,
+    gray_encoding,
+    make_encoding,
+    one_hot_encoding,
+)
+from repro.exceptions import EncodingError
+from repro.ostr import search_ostr
+
+
+class TestCodes:
+    def test_code_width(self):
+        assert code_width(1) == 0
+        assert code_width(2) == 1
+        assert code_width(5) == 3
+        with pytest.raises(EncodingError):
+            code_width(0)
+
+    def test_binary_encoding(self):
+        encoding = binary_encoding(("a", "b", "c"))
+        assert encoding.width == 2
+        assert encoding.encode("a") == "00"
+        assert encoding.decode("10") == "c"
+
+    def test_gray_adjacent_codes_differ_in_one_bit(self):
+        encoding = gray_encoding(tuple(range(8)))
+        for k in range(7):
+            a, b = encoding.codes[k], encoding.codes[k + 1]
+            assert sum(x != y for x, y in zip(a, b)) == 1
+
+    def test_one_hot(self):
+        encoding = one_hot_encoding(("p", "q", "r"))
+        assert encoding.width == 3
+        assert sorted(encoding.codes) == ["001", "010", "100"]
+
+    def test_make_encoding_styles(self):
+        symbols = ("x", "y")
+        assert make_encoding(symbols, "binary").width == 1
+        assert make_encoding(symbols, "onehot").width == 2
+        with pytest.raises(EncodingError):
+            make_encoding(symbols, "weird")
+
+    def test_unknown_symbol(self):
+        encoding = binary_encoding(("a",))
+        with pytest.raises(EncodingError):
+            encoding.encode("b")
+        with pytest.raises(EncodingError):
+            encoding.decode("11")
+
+    def test_injectivity_enforced(self):
+        from repro.encoding.codes import Encoding
+
+        with pytest.raises(EncodingError):
+            Encoding(("a", "b"), ("0", "0"))
+        with pytest.raises(EncodingError):
+            Encoding(("a", "b"), ("0", "10"))
+
+
+class TestEncodeMachine:
+    def test_truth_table_rows(self, example_machine):
+        encoded = encode_machine(example_machine)
+        table = encoded.table
+        assert table.n_inputs == 3  # 2 state bits + 1 input bit
+        assert table.n_outputs == 3  # 2 next-state bits + 1 output bit
+        assert len(table.rows) == 8  # 4 states x 2 inputs
+
+    def test_rows_encode_transitions(self, example_machine):
+        encoded = encode_machine(example_machine)
+        se, ie, oe = (
+            encoded.state_encoding,
+            encoded.input_encoding,
+            encoded.output_encoding,
+        )
+        for state in example_machine.states:
+            for symbol in example_machine.inputs:
+                next_state, output = example_machine.step(state, symbol)
+                pattern = se.encode(state) + ie.encode(symbol)
+                assert encoded.table.rows[pattern] == se.encode(
+                    next_state
+                ) + oe.encode(output)
+
+    def test_unused_codes_are_dont_cares(self, shiftreg):
+        encoded = encode_machine(shiftreg)
+        # 8 states on 3 bits: fully used; 1 input bit: fully used -> total.
+        assert encoded.table.specified_fraction() == 1.0
+
+    def test_partial_specification(self):
+        from repro.fsm import random_mealy
+
+        machine = random_mealy(5, 2, 2, seed=1)  # 5 states on 3 bits
+        encoded = encode_machine(machine)
+        assert encoded.table.specified_fraction() < 1.0
+
+    def test_output_column_split(self, example_machine):
+        encoded = encode_machine(example_machine)
+        on, dc = encoded.table.output_column(0)
+        assert not dc  # fully specified table
+        assert all(pattern in encoded.table.rows for pattern in on)
+
+
+class TestEncodeRealization:
+    def test_tables_match_factor_functions(self, example_machine):
+        result = search_ostr(example_machine)
+        realization = result.realization()
+        encoded = encode_realization(realization)
+        assert isinstance(encoded, EncodedRealization)
+        assert encoded.flipflops == realization.flipflops == 2
+        # c1 table: 1 r1 bit + 1 input bit -> 1 r2 bit.
+        assert encoded.c1.n_inputs == 2
+        assert encoded.c1.n_outputs == 1
+        for (block, symbol), target in realization.delta1.items():
+            pattern = encoded.r1_encoding.encode(block) + encoded.input_encoding.encode(symbol)
+            assert encoded.c1.rows[pattern] == encoded.r2_encoding.encode(target)
+
+    def test_lambda_table_covers_product(self, shiftreg):
+        result = search_ostr(shiftreg)
+        realization = result.realization()
+        encoded = encode_realization(realization)
+        # lambda is specified on every (r1, r2, x) combination whose codes
+        # are in use: 2 x 4 x 2 = 16 rows on 1+2+1 = 4 bits (fully used).
+        assert len(encoded.lambda_.rows) == 16
+        assert encoded.lambda_.specified_fraction() == 1.0

@@ -1,0 +1,104 @@
+"""Tests for state equivalence and minimization."""
+
+import pytest
+
+from repro.fsm import (
+    MealyMachine,
+    equivalence_partition,
+    equivalent_states,
+    io_equivalent,
+    is_reduced,
+    minimized,
+    random_mealy,
+)
+
+
+def machine_with_equivalent_states():
+    """States b and c are equivalent (identical rows up to each other)."""
+    transitions = {
+        ("a", "0"): ("b", "x"),
+        ("a", "1"): ("c", "y"),
+        ("b", "0"): ("a", "y"),
+        ("b", "1"): ("b", "x"),
+        ("c", "0"): ("a", "y"),
+        ("c", "1"): ("c", "x"),
+    }
+    return MealyMachine("dup", ("a", "b", "c"), ("0", "1"), ("x", "y"), transitions)
+
+
+class TestEquivalence:
+    def test_detects_equivalent_states(self):
+        machine = machine_with_equivalent_states()
+        assert equivalent_states(machine, "b", "c")
+        assert not equivalent_states(machine, "a", "b")
+
+    def test_partition_blocks(self):
+        machine = machine_with_equivalent_states()
+        epsilon = equivalence_partition(machine)
+        assert epsilon.block_of("b") == {"b", "c"}
+
+    def test_paper_example_is_reduced(self, example_machine):
+        assert is_reduced(example_machine)
+        assert equivalence_partition(example_machine).is_identity()
+
+    def test_shiftreg_is_reduced(self, shiftreg):
+        assert is_reduced(shiftreg)
+
+    def test_output_difference_distinguishes(self):
+        transitions = {
+            ("a", "0"): ("a", "x"),
+            ("b", "0"): ("b", "y"),
+        }
+        machine = MealyMachine("m", ("a", "b"), ("0",), ("x", "y"), transitions)
+        assert not equivalent_states(machine, "a", "b")
+
+    def test_deep_distinction(self):
+        """States that differ only after several steps are inequivalent."""
+        # A chain where the output difference appears 3 steps away.
+        transitions = {
+            ("s0", "0"): ("s1", "x"),
+            ("s1", "0"): ("s2", "x"),
+            ("s2", "0"): ("s0", "y"),
+            ("t0", "0"): ("t1", "x"),
+            ("t1", "0"): ("t2", "x"),
+            ("t2", "0"): ("t0", "x"),
+        }
+        machine = MealyMachine(
+            "deep", ("s0", "s1", "s2", "t0", "t1", "t2"), ("0",), ("x", "y"),
+            transitions,
+        )
+        assert not equivalent_states(machine, "s0", "t0")
+        assert not equivalent_states(machine, "s2", "t2")
+
+
+class TestMinimized:
+    def test_minimized_is_reduced(self):
+        machine = machine_with_equivalent_states()
+        small = minimized(machine)
+        assert small.n_states == 2
+        assert is_reduced(small)
+
+    def test_minimized_behaviour_preserved(self):
+        machine = machine_with_equivalent_states()
+        small = minimized(machine)
+        assert io_equivalent(
+            machine,
+            machine.reset_state,
+            small,
+            small.reset_state,
+        )
+
+    def test_minimizing_reduced_machine_is_identity(self, example_machine):
+        small = minimized(example_machine)
+        assert small.n_states == example_machine.n_states
+        assert small == example_machine.renamed(small.name)
+
+    def test_random_machines(self):
+        for seed in range(5):
+            machine = random_mealy(8, 2, 2, seed=seed, ensure_connected=False)
+            small = minimized(machine)
+            assert is_reduced(small)
+            assert io_equivalent(
+                machine, machine.reset_state, small, small.reset_state
+            )
+            assert small.n_states <= machine.n_states

@@ -1,0 +1,104 @@
+"""Tests for the experiment runners (tables and claims)."""
+
+import pytest
+
+from repro import experiments, suite
+
+
+FAST = ["bbara", "bbtas", "dk27", "mc", "shiftreg", "tav"]
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return experiments.run_table1(FAST)
+
+    def test_every_fast_row_matches_paper(self, rows):
+        for row in rows:
+            assert row.matches_paper, f"{row.name}: {row}"
+
+    def test_rows_carry_search_stats(self, rows):
+        for row in rows:
+            assert row.basis_size >= 0
+            assert row.investigated >= 1
+
+    def test_formatting(self, rows):
+        text = experiments.format_table1(rows)
+        assert "Table 1" in text
+        assert "shiftreg" in text
+        assert "conv.BIST" in text
+        # all fast rows match -> no "NO" cell
+        assert " NO" not in text
+
+
+class TestTable2:
+    def test_pruning_effect_visible(self):
+        rows = experiments.run_table2(FAST)
+        for row in rows:
+            assert row.investigated <= row.tree_size
+            # the central claim: the pruned walk is astronomically smaller
+            if row.basis_size >= 20:
+                assert row.investigated < row.tree_size / 1000
+        text = experiments.format_table2(rows)
+        assert "2^" in text
+
+    def test_subset_selection(self):
+        rows = experiments.run_table2(["tav"])
+        assert len(rows) == 1 and rows[0].name == "tav"
+
+
+class TestArchitectures:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return experiments.run_architectures(suite.paper_example())
+
+    def test_four_rows(self, rows):
+        assert [row.figure for row in rows] == ["Fig.1", "Fig.2", "Fig.3", "Fig.4"]
+
+    def test_conventional_doubles_flipflops(self, rows):
+        plain, conventional = rows[0], rows[1]
+        assert conventional.flipflops == 2 * plain.flipflops
+        assert conventional.transparent_register
+
+    def test_pipeline_is_self_testable_without_transparency(self, rows):
+        pipeline = rows[3]
+        assert pipeline.self_testable
+        assert not pipeline.transparent_register
+
+    def test_formatting(self, rows):
+        text = experiments.format_architectures(rows)
+        assert "Fig.4" in text and "pipeline" in text
+
+
+class TestCoverage:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return experiments.run_coverage(suite.paper_example())
+
+    def test_four_architectures(self, rows):
+        assert len(rows) == 4
+        assert rows[0].architecture.startswith("parallel")
+
+    def test_pipeline_dominates(self, rows):
+        parallel, conventional, doubled, pipeline = rows
+        assert pipeline.coverage >= doubled.coverage >= conventional.coverage
+        assert pipeline.detectable_coverage >= parallel.detectable_coverage
+
+    def test_conventional_misses_feedback(self, rows):
+        conventional = rows[1]
+        assert conventional.structurally_missed > 0
+
+    def test_pipeline_detects_all_detectable(self, rows):
+        pipeline = rows[3]
+        assert pipeline.detectable_coverage == 1.0
+
+    def test_formatting(self, rows):
+        text = experiments.format_coverage(rows)
+        assert "coverage" in text and "Fig.4" in text.replace("pipeline (Fig.4)", "Fig.4")
+
+
+class TestPaperExampleRunner:
+    def test_found_published_pair(self):
+        outcome = experiments.run_paper_example()
+        assert outcome["found_published_pair"]
+        assert outcome["pipeline"].flipflops == 2

@@ -1,0 +1,92 @@
+"""Tests for the stuck-at fault model and pattern-parallel simulation."""
+
+import pytest
+
+from repro.exceptions import FaultError
+from repro.faults import (
+    all_faults,
+    branch_faults,
+    collapse_trivial,
+    detects,
+    exhaustive_patterns,
+    pack_patterns,
+    simulate_patterns,
+    stem_faults,
+)
+from repro.netlist import Fault, GateKind, Netlist
+
+
+def and_netlist():
+    netlist = Netlist("and2")
+    netlist.add_input("a")
+    netlist.add_input("b")
+    netlist.add_gate(GateKind.AND, "y", ["a", "b"])
+    netlist.mark_output("y")
+    return netlist.freeze()
+
+
+class TestFaultLists:
+    def test_stem_fault_count(self):
+        netlist = and_netlist()
+        faults = stem_faults(netlist)
+        assert len(faults) == 2 * 3  # nets a, b, y
+
+    def test_branch_fault_count(self):
+        netlist = and_netlist()
+        faults = branch_faults(netlist)
+        assert len(faults) == 2 * 2  # two pins of the AND gate
+
+    def test_all_faults(self):
+        netlist = and_netlist()
+        assert len(all_faults(netlist)) == 10
+
+    def test_collapse_drops_single_fanout_branches(self):
+        netlist = and_netlist()
+        collapsed = collapse_trivial(netlist, all_faults(netlist))
+        # a and b feed exactly one pin each: their branch faults collapse.
+        assert len(collapsed) == 6
+
+
+class TestSimulation:
+    def test_exhaustive_detects_all_and_faults(self):
+        netlist = and_netlist()
+        outcome = simulate_patterns(netlist, exhaustive_patterns(2))
+        assert outcome.coverage == 1.0
+
+    def test_single_pattern_detects_some(self):
+        netlist = and_netlist()
+        outcome = simulate_patterns(netlist, ["11"])
+        # Pattern 11 detects y/0, a/0, b/0 (stems and branches) but no
+        # stuck-at-1 faults.
+        assert 0 < outcome.detected < outcome.total
+        assert all(f.stuck_at == 1 for f in outcome.undetected)
+
+    def test_detects_api(self):
+        netlist = and_netlist()
+        packed, mask = pack_patterns(["11", "00"], netlist.inputs)
+        assert detects(netlist, Fault(net="y", stuck_at=0), packed, mask)
+        assert detects(netlist, Fault(net="y", stuck_at=1), packed, mask)
+
+    def test_undetectable_fault(self):
+        # y = a OR (a AND b): the AND gate is redundant; its faults that
+        # only weaken the AND term are undetectable.
+        netlist = Netlist("red")
+        netlist.add_input("a")
+        netlist.add_input("b")
+        netlist.add_gate(GateKind.AND, "t", ["a", "b"])
+        netlist.add_gate(GateKind.OR, "y", ["a", "t"])
+        netlist.mark_output("y")
+        netlist.freeze()
+        outcome = simulate_patterns(netlist, exhaustive_patterns(2))
+        assert outcome.coverage < 1.0
+        undetected = {f.describe() for f in outcome.undetected}
+        assert any("t" in d for d in undetected)
+
+    def test_pattern_validation(self):
+        netlist = and_netlist()
+        with pytest.raises(FaultError):
+            pack_patterns(["1"], netlist.inputs)
+
+    def test_exhaustive_pattern_guard(self):
+        with pytest.raises(FaultError):
+            exhaustive_patterns(25)

@@ -1,0 +1,149 @@
+"""Tests for the KISS2 reader/writer."""
+
+import pytest
+
+from repro.exceptions import KissFormatError
+from repro.fsm import MealyMachine, is_isomorphic, kiss
+
+
+SHIFTREG_KISS = """\
+.i 1
+.o 1
+.s 8
+.p 16
+.r 000
+0 000 000 0
+1 000 001 0
+0 001 010 0
+1 001 011 0
+0 010 100 0
+1 010 101 0
+0 011 110 0
+1 011 111 0
+0 100 000 1
+1 100 001 1
+0 101 010 1
+1 101 011 1
+0 110 100 1
+1 110 101 1
+0 111 110 1
+1 111 111 1
+.e
+"""
+
+
+class TestLoads:
+    def test_parse_shiftreg(self, shiftreg):
+        machine = kiss.loads(SHIFTREG_KISS, name="shiftreg3")
+        assert machine.n_states == 8
+        assert machine.n_inputs == 2
+        assert machine.reset_state == "000"
+        # Equal to the generated exact machine up to state ordering.
+        assert is_isomorphic(machine, shiftreg)
+
+    def test_dont_care_expansion(self):
+        text = """\
+.i 2
+.o 1
+-- s0 s1 1
+00 s1 s0 0
+01 s1 s0 0
+1- s1 s1 1
+"""
+        machine = kiss.loads(text)
+        assert machine.n_states == 2
+        assert machine.delta("s0", "01") == "s1"
+        assert machine.delta("s0", "10") == "s1"
+        assert machine.lam("s1", "11") == "1"
+
+    def test_comments_and_blank_lines(self):
+        text = """
+# a comment
+.i 1
+.o 1
+
+0 a a 0  # trailing comment
+1 a a 1
+"""
+        machine = kiss.loads(text)
+        assert machine.n_states == 1
+
+    def test_incomplete_rejected(self):
+        text = ".i 1\n.o 1\n0 a b 0\n0 b a 0\n"
+        with pytest.raises(KissFormatError, match="incompletely specified"):
+            kiss.loads(text)
+
+    def test_duplicate_rejected(self):
+        text = ".i 1\n.o 1\n0 a a 0\n0 a a 1\n1 a a 0\n"
+        with pytest.raises(KissFormatError, match="duplicate"):
+            kiss.loads(text)
+
+    def test_overlapping_dont_care_rejected(self):
+        text = ".i 1\n.o 1\n- a a 0\n0 a a 0\n"
+        with pytest.raises(KissFormatError, match="duplicate"):
+            kiss.loads(text)
+
+    def test_bad_directive(self):
+        with pytest.raises(KissFormatError, match="unknown directive"):
+            kiss.loads(".q 3\n0 a a 0\n")
+
+    def test_state_count_mismatch(self):
+        text = ".i 1\n.o 1\n.s 3\n0 a a 0\n1 a a 1\n"
+        with pytest.raises(KissFormatError, match=".s declares"):
+            kiss.loads(text)
+
+    def test_product_count_mismatch(self):
+        text = ".i 1\n.o 1\n.p 5\n0 a a 0\n1 a a 1\n"
+        with pytest.raises(KissFormatError, match=".p declares"):
+            kiss.loads(text)
+
+    def test_output_dont_care_rejected(self):
+        text = ".i 1\n.o 1\n0 a a -\n1 a a 1\n"
+        with pytest.raises(KissFormatError, match="invalid output"):
+            kiss.loads(text)
+
+    def test_empty_rejected(self):
+        with pytest.raises(KissFormatError, match="no transitions"):
+            kiss.loads(".i 1\n.o 1\n")
+
+    def test_wrong_field_count(self):
+        with pytest.raises(KissFormatError, match="4 fields"):
+            kiss.loads(".i 1\n.o 1\n0 a a\n")
+
+
+class TestDumps:
+    def test_roundtrip_binary_machine(self, shiftreg):
+        text = kiss.dumps(shiftreg)
+        machine = kiss.loads(text, name=shiftreg.name)
+        assert is_isomorphic(machine, shiftreg)
+
+    def test_roundtrip_symbolic_inputs(self, example_machine):
+        """Symbolic 2-input machine: codes are 1 bit wide, no padding."""
+        text = kiss.dumps(example_machine)
+        machine = kiss.loads(text)
+        assert machine.n_states == example_machine.n_states
+        assert machine.n_inputs == 2
+
+    def test_padding_for_non_power_of_two_inputs(self):
+        transitions = {
+            ("s", "a"): ("s", "0"),
+            ("s", "b"): ("t", "1"),
+            ("s", "c"): ("s", "0"),
+            ("t", "a"): ("s", "1"),
+            ("t", "b"): ("t", "0"),
+            ("t", "c"): ("t", "1"),
+        }
+        machine = MealyMachine("m3", ("s", "t"), ("a", "b", "c"), ("0", "1"), transitions)
+        text = kiss.dumps(machine)
+        parsed = kiss.loads(text)
+        # 3 inputs -> 2 bits -> 4 vectors after padding.
+        assert parsed.n_inputs == 4
+        # The padded column replays input "a" (index 0).
+        assert parsed.delta("s", "11") == parsed.delta("s", "00")
+
+    def test_file_roundtrip(self, tmp_path, example_machine):
+        path = tmp_path / "example.kiss"
+        kiss.dump(example_machine, path)
+        loaded = kiss.load(path)
+        assert loaded.n_states == 4
+        assert loaded.name == "example"

@@ -1,0 +1,80 @@
+"""Tests for LFSR pattern generators."""
+
+import pytest
+
+from repro.bist import Lfsr, PRIMITIVE_TAPS, measured_period
+from repro.exceptions import BistError
+
+
+class TestPlainLfsr:
+    @pytest.mark.parametrize("width", list(range(2, 15)))
+    def test_maximal_period(self, width):
+        assert measured_period(width) == (1 << width) - 1
+
+    def test_width_one_toggles(self):
+        lfsr = Lfsr(1, seed=1)
+        assert lfsr.step() == 0
+        assert lfsr.step() == 1
+        assert lfsr.period == 2
+
+    def test_never_reaches_zero(self):
+        lfsr = Lfsr(6, seed=1)
+        for _ in range(lfsr.period):
+            assert lfsr.step() != 0 or lfsr.state != 0
+            assert lfsr.state != 0
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(BistError):
+            Lfsr(4, seed=0)
+
+    def test_oversized_seed_rejected(self):
+        with pytest.raises(BistError):
+            Lfsr(3, seed=8)
+
+    def test_all_widths_have_taps(self):
+        for width in range(2, 33):
+            assert width in PRIMITIVE_TAPS
+            assert PRIMITIVE_TAPS[width][0] == width
+
+    def test_sequence(self):
+        lfsr = Lfsr(3, seed=1)
+        states = list(lfsr.sequence(7))
+        assert len(states) == 7
+        assert len(set(states)) == 7  # full period, no repeats
+
+    def test_bits_view(self):
+        lfsr = Lfsr(4, seed=0b1010)
+        assert lfsr.bits() == (0, 1, 0, 1)
+
+
+class TestCompleteLfsr:
+    @pytest.mark.parametrize("width", list(range(2, 13)))
+    def test_de_bruijn_period_covers_everything(self, width):
+        lfsr = Lfsr(width, seed=1, complete=True)
+        seen = set()
+        for _ in range(1 << width):
+            seen.add(lfsr.state)
+            lfsr.step()
+        assert len(seen) == 1 << width
+        assert lfsr.state == 1  # back to the seed
+
+    def test_zero_state_allowed(self):
+        lfsr = Lfsr(4, seed=0, complete=True)
+        assert lfsr.step() != 0 or True  # must not raise
+
+    def test_period_property(self):
+        assert Lfsr(5, complete=True).period == 32
+        assert Lfsr(5).period == 31
+
+
+class TestFromAnySeed:
+    def test_folds_large_seeds(self):
+        lfsr = Lfsr.from_any_seed(4, 1000)
+        assert 0 < lfsr.state < 16
+
+    def test_avoids_zero_for_plain(self):
+        lfsr = Lfsr.from_any_seed(4, 15)  # 15 % 15 == 0 -> folded to 1
+        assert lfsr.state == 1
+
+    def test_width_one(self):
+        assert Lfsr.from_any_seed(1, 7).state in (0, 1)

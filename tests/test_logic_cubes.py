@@ -1,0 +1,89 @@
+"""Tests for cube and cover primitives."""
+
+import pytest
+
+from repro.exceptions import LogicError
+from repro.logic import (
+    Cover,
+    all_minterms,
+    cube_contains,
+    cube_covers,
+    cube_literals,
+    cube_minterms,
+    cube_size,
+    cubes_intersect,
+    try_merge,
+    verify_cover,
+)
+
+
+class TestCubeBasics:
+    def test_literals(self):
+        assert cube_literals("01-") == 2
+        assert cube_literals("---") == 0
+
+    def test_covers(self):
+        assert cube_covers("1-0", "110")
+        assert not cube_covers("1-0", "011")
+
+    def test_contains(self):
+        assert cube_contains("1--", "10-")
+        assert not cube_contains("10-", "1--")
+        assert cube_contains("1-0", "1-0")
+
+    def test_intersect(self):
+        assert cubes_intersect("1--", "--0")
+        assert not cubes_intersect("1--", "0--")
+
+    def test_minterms(self):
+        assert sorted(cube_minterms("1-")) == ["10", "11"]
+        assert list(cube_minterms("01")) == ["01"]
+
+    def test_size(self):
+        assert cube_size("1--") == 4
+        assert cube_size("111") == 1
+
+    def test_merge(self):
+        assert try_merge("110", "100") == "1-0"
+        with pytest.raises(LogicError):
+            try_merge("110", "001")
+        with pytest.raises(LogicError):
+            try_merge("1-0", "110")
+        with pytest.raises(LogicError):
+            try_merge("110", "110")
+
+
+class TestCover:
+    def test_evaluate(self):
+        cover = Cover(3, ("1--", "-01"))
+        assert cover.evaluate("111")
+        assert cover.evaluate("001")
+        assert not cover.evaluate("010")
+
+    def test_costs(self):
+        cover = Cover(3, ("1--", "-01"))
+        assert cover.n_cubes == 2
+        assert cover.literals == 3
+
+    def test_invalid_cube_rejected(self):
+        with pytest.raises(LogicError):
+            Cover(3, ("1-",))
+        with pytest.raises(LogicError):
+            Cover(2, ("2-",))
+
+    def test_invalid_minterm_rejected(self):
+        cover = Cover(2, ("1-",))
+        with pytest.raises(LogicError):
+            cover.evaluate("1-")
+
+    def test_verify_cover(self):
+        cover = Cover(2, ("1-",))
+        verify_cover(cover, ["10", "11"], ["00", "01"])
+        with pytest.raises(LogicError, match="misses"):
+            verify_cover(cover, ["01"], [])
+        with pytest.raises(LogicError, match="wrongly"):
+            verify_cover(cover, [], ["11"])
+
+    def test_all_minterms(self):
+        assert all_minterms(2) == ["00", "01", "10", "11"]
+        assert all_minterms(0) == [""]

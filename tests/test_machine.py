@@ -1,0 +1,142 @@
+"""Unit tests for the MealyMachine model."""
+
+import pytest
+
+from repro.exceptions import FsmError
+from repro.fsm import MealyMachine
+
+
+def tiny_transitions():
+    return {
+        ("a", "0"): ("b", "x"),
+        ("a", "1"): ("a", "y"),
+        ("b", "0"): ("a", "y"),
+        ("b", "1"): ("b", "x"),
+    }
+
+
+def tiny_machine():
+    return MealyMachine("tiny", ("a", "b"), ("0", "1"), ("x", "y"), tiny_transitions())
+
+
+class TestConstruction:
+    def test_basic(self):
+        machine = tiny_machine()
+        assert machine.n_states == 2
+        assert machine.n_inputs == 2
+        assert machine.n_outputs == 2
+        assert machine.reset_state == "a"
+
+    def test_explicit_reset_state(self):
+        machine = MealyMachine(
+            "tiny", ("a", "b"), ("0", "1"), ("x", "y"), tiny_transitions(),
+            reset_state="b",
+        )
+        assert machine.reset_state == "b"
+
+    def test_unknown_reset_state(self):
+        with pytest.raises(FsmError):
+            MealyMachine(
+                "tiny", ("a", "b"), ("0", "1"), ("x", "y"), tiny_transitions(),
+                reset_state="z",
+            )
+
+    def test_incomplete_machine_rejected(self):
+        transitions = tiny_transitions()
+        del transitions[("b", "1")]
+        with pytest.raises(FsmError, match="not fully specified"):
+            MealyMachine("bad", ("a", "b"), ("0", "1"), ("x", "y"), transitions)
+
+    def test_duplicate_transition_rejected(self):
+        # Constructing duplicates requires two keys mapping to the same
+        # (state, input) cell, which dict keys cannot express; instead the
+        # machine must reject unknown symbols.
+        transitions = tiny_transitions()
+        transitions[("a", "2")] = ("a", "x")
+        with pytest.raises(FsmError, match="unknown input"):
+            MealyMachine("bad", ("a", "b"), ("0", "1"), ("x", "y"), transitions)
+
+    def test_unknown_target_state_rejected(self):
+        transitions = tiny_transitions()
+        transitions[("a", "0")] = ("z", "x")
+        with pytest.raises(FsmError, match="unknown state"):
+            MealyMachine("bad", ("a", "b"), ("0", "1"), ("x", "y"), transitions)
+
+    def test_unknown_output_rejected(self):
+        transitions = tiny_transitions()
+        transitions[("a", "0")] = ("b", "zzz")
+        with pytest.raises(FsmError, match="unknown output"):
+            MealyMachine("bad", ("a", "b"), ("0", "1"), ("x", "y"), transitions)
+
+    def test_empty_sets_rejected(self):
+        with pytest.raises(FsmError):
+            MealyMachine("bad", (), ("0",), ("x",), {})
+
+    def test_duplicate_symbols_rejected(self):
+        with pytest.raises(FsmError, match="duplicate"):
+            MealyMachine("bad", ("a", "a"), ("0",), ("x",), {})
+
+
+class TestSemantics:
+    def test_delta_and_lam(self):
+        machine = tiny_machine()
+        assert machine.delta("a", "0") == "b"
+        assert machine.lam("a", "0") == "x"
+
+    def test_step(self):
+        machine = tiny_machine()
+        assert machine.step("b", "0") == ("a", "y")
+
+    def test_tables_consistent_with_functions(self):
+        machine = tiny_machine()
+        for s, state in enumerate(machine.states):
+            for i, symbol in enumerate(machine.inputs):
+                assert (
+                    machine.states[machine.succ_table[s][i]]
+                    == machine.delta(state, symbol)
+                )
+                assert (
+                    machine.outputs[machine.out_table[s][i]]
+                    == machine.lam(state, symbol)
+                )
+
+    def test_transitions_iterator(self):
+        machine = tiny_machine()
+        entries = set(machine.transitions())
+        assert ("a", "0", "b", "x") in entries
+        assert len(entries) == 4
+
+    def test_unknown_state_access(self):
+        with pytest.raises(FsmError):
+            tiny_machine().delta("z", "0")
+
+    def test_from_tables_roundtrip(self):
+        machine = tiny_machine()
+        rebuilt = MealyMachine.from_tables(
+            machine.name,
+            machine.states,
+            machine.inputs,
+            machine.outputs,
+            machine.succ_table,
+            machine.out_table,
+            machine.reset_state,
+        )
+        assert rebuilt == machine
+        assert hash(rebuilt) == hash(machine)
+
+    def test_renamed(self):
+        machine = tiny_machine().renamed("other")
+        assert machine.name == "other"
+        assert machine == tiny_machine()  # structural equality ignores name
+
+
+class TestTransitionTable:
+    def test_paper_layout(self, example_machine):
+        table = example_machine.transition_table()
+        lines = table.splitlines()
+        assert len(lines) == 5  # header + 4 states
+        assert "3/1" in lines[1]  # delta(1, 1) = 3 / output 1
+        assert "2/0" in lines[2]  # the OCR-corrected entry
+
+    def test_repr(self):
+        assert "|S|=2" in repr(tiny_machine())

@@ -1,0 +1,79 @@
+"""Tests for the Mm basis and Mm-pair enumeration."""
+
+from repro.partitions import Partition, is_symmetric_pair, m_of, big_m_of
+from repro.partitions import kernel
+from repro.partitions.mm import m_basis, m_basis_labels, mm_pairs, rho
+
+
+class TestRho:
+    def test_rho_identifies_exactly_one_pair(self):
+        labels = rho(5, 1, 3)
+        assert kernel.related(labels, 1, 3)
+        assert kernel.num_blocks(labels) == 4
+
+
+class TestBasis:
+    def test_basis_is_deduplicated_and_sorted(self, example_machine):
+        basis = m_basis_labels(example_machine.succ_table)
+        assert basis == sorted(set(basis))
+
+    def test_identity_excluded_by_default(self, shiftreg):
+        basis = m_basis_labels(shiftreg.succ_table)
+        identity = kernel.identity(shiftreg.n_states)
+        assert identity not in basis
+
+    def test_identity_included_on_request(self):
+        # A machine where two states have identical successor rows makes
+        # m(rho) the identity.
+        succ = ((1, 1), (1, 1), (0, 1))
+        basis = m_basis_labels(succ, include_identity=True)
+        assert kernel.identity(3) in basis
+
+    def test_every_element_is_m_of_some_rho(self, example_machine):
+        succ = example_machine.succ_table
+        n = example_machine.n_states
+        basis = set(m_basis_labels(succ))
+        all_m_rho = set()
+        for s in range(n):
+            for t in range(s + 1, n):
+                labels = kernel.m_operator(succ, rho(n, s, t))
+                if kernel.num_blocks(labels) != n:
+                    all_m_rho.add(labels)
+        assert basis == all_m_rho
+
+    def test_partition_view(self, example_machine):
+        parts = m_basis(example_machine.succ_table, example_machine.states)
+        assert all(isinstance(p, Partition) for p in parts)
+
+
+class TestMmPairs:
+    def test_all_returned_pairs_are_mm(self, example_machine):
+        succ = example_machine.succ_table
+        for pi, theta in mm_pairs(succ, example_machine.states):
+            assert big_m_of(succ, theta) == pi
+            assert m_of(succ, pi) == theta
+
+    def test_published_pair_is_in_lattice(self, example_machine, example_pair):
+        """Figure 6's pair is an Mm-pair of the example machine."""
+        pairs = mm_pairs(example_machine.succ_table, example_machine.states)
+        pi, theta = example_pair
+        assert (pi, theta) in pairs
+
+    def test_symmetric_mm_pairs_exist_for_shiftreg(self, shiftreg):
+        succ = shiftreg.succ_table
+        symmetric = [
+            (pi, theta)
+            for pi, theta in mm_pairs(succ, shiftreg.states)
+            if is_symmetric_pair(succ, pi, theta)
+        ]
+        # The planted (4,2) factorisation must be among them.
+        sizes = {(pi.num_blocks, theta.num_blocks) for pi, theta in symmetric}
+        assert (4, 2) in sizes or (2, 4) in sizes
+
+    def test_corpus_mm_closure(self, small_corpus):
+        """For every Mm-pair, m and M really are mutually inverse bounds."""
+        for machine in small_corpus[:6]:
+            succ = machine.succ_table
+            for pi, theta in mm_pairs(succ, machine.states):
+                assert m_of(succ, pi) == theta
+                assert big_m_of(succ, theta) == pi

@@ -1,0 +1,182 @@
+"""Tests for the gate-level netlist substrate."""
+
+import pytest
+
+from repro.encoding import encode_machine
+from repro.exceptions import NetlistError
+from repro.logic import synthesize_table
+from repro.netlist import Fault, GateKind, Netlist, cover_to_netlist
+
+
+def build_xor_netlist():
+    """y = a XOR b built from AND/OR/NOT."""
+    netlist = Netlist("xor")
+    netlist.add_input("a")
+    netlist.add_input("b")
+    netlist.add_gate(GateKind.NOT, "a_n", ["a"])
+    netlist.add_gate(GateKind.NOT, "b_n", ["b"])
+    netlist.add_gate(GateKind.AND, "p0", ["a", "b_n"])
+    netlist.add_gate(GateKind.AND, "p1", ["a_n", "b"])
+    netlist.add_gate(GateKind.OR, "y", ["p0", "p1"])
+    netlist.mark_output("y")
+    return netlist.freeze()
+
+
+class TestConstruction:
+    def test_duplicate_net_rejected(self):
+        netlist = Netlist("n")
+        netlist.add_input("a")
+        with pytest.raises(NetlistError):
+            netlist.add_input("a")
+        with pytest.raises(NetlistError):
+            netlist.add_gate(GateKind.BUF, "a", ["a"])
+
+    def test_topological_order_enforced(self):
+        netlist = Netlist("n")
+        netlist.add_input("a")
+        with pytest.raises(NetlistError, match="topological"):
+            netlist.add_gate(GateKind.AND, "y", ["a", "later"])
+
+    def test_arity_checks(self):
+        netlist = Netlist("n")
+        netlist.add_input("a")
+        with pytest.raises(NetlistError):
+            netlist.add_gate(GateKind.NOT, "y", ["a", "a"])
+        with pytest.raises(NetlistError):
+            netlist.add_gate(GateKind.AND, "z", [])
+
+    def test_frozen_rejects_mutation(self):
+        netlist = build_xor_netlist()
+        with pytest.raises(NetlistError, match="frozen"):
+            netlist.add_input("c")
+
+    def test_unknown_output_mark(self):
+        netlist = Netlist("n")
+        with pytest.raises(NetlistError):
+            netlist.mark_output("ghost")
+
+
+class TestEvaluation:
+    def test_xor_truth_table(self):
+        netlist = build_xor_netlist()
+        for a in (0, 1):
+            for b in (0, 1):
+                outputs = netlist.evaluate_outputs({"a": a, "b": b})
+                assert outputs["y"] == (a ^ b)
+
+    def test_bit_parallel_matches_serial(self):
+        netlist = build_xor_netlist()
+        patterns = [(0, 0), (0, 1), (1, 0), (1, 1)]
+        packed_a = sum(a << k for k, (a, _) in enumerate(patterns))
+        packed_b = sum(b << k for k, (_, b) in enumerate(patterns))
+        outputs = netlist.evaluate_outputs(
+            {"a": packed_a, "b": packed_b}, mask=(1 << 4) - 1
+        )
+        for k, (a, b) in enumerate(patterns):
+            assert (outputs["y"] >> k) & 1 == a ^ b
+
+    def test_missing_input_value(self):
+        netlist = build_xor_netlist()
+        with pytest.raises(NetlistError, match="missing value"):
+            netlist.evaluate({"a": 1})
+
+    def test_const_gates(self):
+        netlist = Netlist("c")
+        netlist.add_input("a")
+        netlist.add_gate(GateKind.CONST1, "one", [])
+        netlist.add_gate(GateKind.CONST0, "zero", [])
+        netlist.mark_output("one")
+        netlist.mark_output("zero")
+        outputs = netlist.evaluate_outputs({"a": 0}, mask=0b11)
+        assert outputs["one"] == 0b11
+        assert outputs["zero"] == 0
+
+    def test_xor_gate_kind(self):
+        netlist = Netlist("x")
+        netlist.add_input("a")
+        netlist.add_input("b")
+        netlist.add_gate(GateKind.XOR, "y", ["a", "b"])
+        netlist.mark_output("y")
+        assert netlist.evaluate_outputs({"a": 1, "b": 1})["y"] == 0
+        assert netlist.evaluate_outputs({"a": 1, "b": 0})["y"] == 1
+
+
+class TestFaultInjection:
+    def test_stem_fault_on_input(self):
+        netlist = build_xor_netlist()
+        fault = Fault(net="a", stuck_at=1)
+        outputs = netlist.evaluate_outputs({"a": 0, "b": 0}, fault=fault)
+        assert outputs["y"] == 1  # behaves as XOR(1, 0)
+
+    def test_stem_fault_on_internal_net(self):
+        netlist = build_xor_netlist()
+        fault = Fault(net="p0", stuck_at=1)
+        outputs = netlist.evaluate_outputs({"a": 0, "b": 0}, fault=fault)
+        assert outputs["y"] == 1
+
+    def test_branch_fault_hits_one_pin_only(self):
+        """A branch fault differs from the stem fault at a fanout point."""
+        netlist = Netlist("fan")
+        netlist.add_input("a")
+        netlist.add_gate(GateKind.BUF, "y1", ["a"])
+        netlist.add_gate(GateKind.BUF, "y2", ["a"])
+        netlist.mark_output("y1")
+        netlist.mark_output("y2")
+        netlist.freeze()
+        stem = Fault(net="a", stuck_at=0)
+        branch = Fault(net="a", stuck_at=0, gate_index=0, pin=0)
+        stem_out = netlist.evaluate_outputs({"a": 1}, fault=stem)
+        branch_out = netlist.evaluate_outputs({"a": 1}, fault=branch)
+        assert stem_out == {"y1": 0, "y2": 0}
+        assert branch_out == {"y1": 0, "y2": 1}
+
+    def test_invalid_stuck_value(self):
+        with pytest.raises(NetlistError):
+            Fault(net="a", stuck_at=2)
+
+
+class TestMetrics:
+    def test_critical_path(self):
+        netlist = build_xor_netlist()
+        assert netlist.critical_path() == 3  # NOT -> AND -> OR
+
+    def test_literal_count(self):
+        netlist = build_xor_netlist()
+        assert netlist.literal_count() == 1 + 1 + 2 + 2 + 2
+
+    def test_nets_listing(self):
+        netlist = build_xor_netlist()
+        assert set(netlist.nets()) == {"a", "b", "a_n", "b_n", "p0", "p1", "y"}
+
+
+class TestCoverToNetlist:
+    def test_matches_cover_evaluation(self, example_machine):
+        encoded = encode_machine(example_machine)
+        cover = synthesize_table(encoded.table)
+        netlist = cover_to_netlist(cover)
+        for pattern, expected in encoded.table.rows.items():
+            inputs = {
+                name: int(ch) for name, ch in zip(cover.input_names, pattern)
+            }
+            outputs = netlist.evaluate_outputs(inputs)
+            actual = "".join(
+                str(outputs[name]) for name in cover.output_names
+            )
+            assert actual == expected
+
+    def test_degenerate_buffer_and_constants(self):
+        from repro.logic.synth import MultiOutputCover
+
+        cover = MultiOutputCover(
+            name="deg",
+            input_names=("a",),
+            output_names=("pass", "never", "always"),
+            rows=("1", "-"),
+            output_rows=((0,), (), (1,)),
+        )
+        netlist = cover_to_netlist(cover)
+        out0 = netlist.evaluate_outputs({"a": 0})
+        out1 = netlist.evaluate_outputs({"a": 1})
+        assert (out0["pass"], out1["pass"]) == (0, 1)
+        assert out0["never"] == out1["never"] == 0
+        assert out0["always"] == out1["always"] == 1

@@ -1,0 +1,104 @@
+"""Tests for partition pairs against the paper's definitions."""
+
+import pytest
+
+from conftest import brute_force_is_pair
+from repro.exceptions import PartitionError
+from repro.partitions import (
+    Partition,
+    big_m_of,
+    is_mm_pair,
+    is_partition_pair,
+    is_symmetric_pair,
+    m_of,
+)
+
+
+class TestPaperExamplePair:
+    """Figure 6: the published pair of the running example."""
+
+    def test_published_pair_is_a_pair(self, example_machine, example_pair):
+        pi, theta = example_pair
+        assert is_partition_pair(example_machine.succ_table, pi, theta)
+
+    def test_published_pair_is_symmetric(self, example_machine, example_pair):
+        pi, theta = example_pair
+        assert is_symmetric_pair(example_machine.succ_table, pi, theta)
+
+    def test_matches_brute_force_definition(self, example_machine, example_pair):
+        pi, theta = example_pair
+        assert brute_force_is_pair(example_machine, pi, theta)
+        assert brute_force_is_pair(example_machine, theta, pi)
+
+    def test_intersection_is_identity(self, example_pair):
+        pi, theta = example_pair
+        assert (pi & theta).is_identity()
+
+    def test_wrong_pair_rejected(self, example_machine):
+        states = example_machine.states
+        pi = Partition.from_blocks(states, [("1", "3")])
+        theta = Partition.from_blocks(states, [("2", "4")])
+        assert not is_partition_pair(example_machine.succ_table, pi, theta)
+
+
+class TestOperators:
+    def test_m_gives_pair(self, example_machine, small_corpus):
+        for machine in [example_machine] + small_corpus:
+            succ = machine.succ_table
+            pi = Partition.from_blocks(
+                machine.states, [machine.states[:2]]
+            )
+            theta = m_of(succ, pi)
+            assert is_partition_pair(succ, pi, theta)
+            assert brute_force_is_pair(machine, pi, theta)
+
+    def test_m_is_minimal(self, example_machine):
+        """Any theta' strictly finer than m(pi) must fail the pair test."""
+        succ = example_machine.succ_table
+        pi = Partition.from_blocks(example_machine.states, [("1", "2")])
+        theta = m_of(succ, pi)
+        identity = Partition.identity(example_machine.states)
+        if theta != identity:
+            assert not is_partition_pair(succ, pi, identity)
+
+    def test_big_m_gives_pair(self, example_machine, small_corpus):
+        for machine in [example_machine] + small_corpus:
+            succ = machine.succ_table
+            theta = Partition.from_blocks(
+                machine.states, [machine.states[-2:]]
+            )
+            pi = big_m_of(succ, theta)
+            assert is_partition_pair(succ, pi, theta)
+
+    def test_big_m_is_maximal(self, example_machine):
+        """No strictly coarser pi can still form a pair with theta."""
+        succ = example_machine.succ_table
+        states = example_machine.states
+        theta = Partition.from_blocks(states, [("1", "4"), ("2", "3")])
+        pi = big_m_of(succ, theta)
+        one = Partition.one(states)
+        if pi != one:
+            assert not is_partition_pair(succ, one, theta)
+
+    def test_galois_connection(self, small_corpus):
+        """(pi, theta) is a pair  <=>  m(pi) <= theta  <=>  pi <= M(theta)."""
+        for machine in small_corpus:
+            succ = machine.succ_table
+            states = machine.states
+            pi = Partition.from_blocks(states, [states[:2]])
+            theta = Partition.from_blocks(states, [states[1:3]])
+            lhs = is_partition_pair(succ, pi, theta)
+            assert lhs == m_of(succ, pi).refines(theta)
+            assert lhs == pi.refines(big_m_of(succ, theta))
+
+    def test_mm_pair_on_paper_example(self, example_machine, example_pair):
+        pi, theta = example_pair
+        succ = example_machine.succ_table
+        assert is_mm_pair(succ, pi, theta) == (
+            big_m_of(succ, theta) == pi and m_of(succ, pi) == theta
+        )
+
+    def test_universe_size_mismatch_rejected(self, example_machine):
+        wrong = Partition.identity(("1", "2", "3"))
+        with pytest.raises(PartitionError):
+            m_of(example_machine.succ_table, wrong)

@@ -1,0 +1,131 @@
+"""Tests for the OSTR cost model."""
+
+import pytest
+
+from repro.ostr import (
+    OstrSolution,
+    balance,
+    conventional_bist_flipflops,
+    doubling_flipflops,
+    pipeline_flipflops,
+    register_bits,
+    trivial_solution,
+)
+from repro.ostr.problem import better
+from repro.partitions import Partition
+
+
+class TestRegisterBits:
+    @pytest.mark.parametrize(
+        "n,bits",
+        [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (16, 4),
+         (27, 5), (32, 5)],
+    )
+    def test_ceil_log2(self, n, bits):
+        assert register_bits(n) == bits
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            register_bits(0)
+
+
+class TestPaperColumns:
+    """Columns 5/6 of Table 1 are pure functions of the state counts."""
+
+    @pytest.mark.parametrize(
+        "n,conv", [(10, 8), (6, 6), (7, 6), (4, 4), (27, 10), (8, 6), (15, 8),
+                    (20, 10), (32, 10)],
+    )
+    def test_conventional_bist(self, n, conv):
+        assert conventional_bist_flipflops(n) == conv
+
+    @pytest.mark.parametrize(
+        "k1,k2,ff", [(7, 7, 6), (4, 2, 3), (2, 2, 2), (16, 16, 8), (24, 24, 10),
+                      (14, 15, 8), (6, 7, 6)],
+    )
+    def test_pipeline(self, k1, k2, ff):
+        assert pipeline_flipflops(k1, k2) == ff
+
+    def test_doubling_equals_conventional(self):
+        for n in (2, 5, 10, 31):
+            assert doubling_flipflops(n) == conventional_bist_flipflops(n)
+
+
+class TestBalance:
+    def test_orientation_free(self):
+        assert balance(4, 2) == balance(2, 4) == 1.0
+        assert balance(7, 7) == 0.0
+
+    def test_monotone_in_imbalance(self):
+        assert balance(6, 7) < balance(5, 7) < balance(4, 7)
+
+
+class TestSolutionOrdering:
+    def _solution(self, universe, pi_blocks, theta_blocks):
+        return OstrSolution(
+            pi=Partition.from_blocks(universe, pi_blocks),
+            theta=Partition.from_blocks(universe, theta_blocks),
+        )
+
+    def test_trivial_solution(self):
+        universe = tuple("abcd")
+        trivial = trivial_solution(universe)
+        assert trivial.k1 == trivial.k2 == 4
+        assert trivial.is_trivial
+        assert not trivial.is_nontrivial
+        assert trivial.flipflops == 4
+
+    def test_fewer_flipflops_wins(self):
+        universe = tuple("abcdefgh")
+        # (4,2): 3 FFs beats trivial (8,8): 6 FFs.
+        good = self._solution(
+            universe,
+            [("a", "b"), ("c", "d"), ("e", "f"), ("g", "h")],
+            [("a", "c", "e", "g"), ("b", "d", "f", "h")],
+        )
+        assert better(good, trivial_solution(universe))
+        assert not better(trivial_solution(universe), good)
+
+    def test_smaller_factor_sum_breaks_bit_ties(self):
+        """The dk27 phenomenon: (6,7) must beat the balanced trivial (7,7)."""
+        universe = tuple("abcdefg")
+        smaller = self._solution(
+            universe,
+            [("a", "b")],  # 6 blocks
+            [],            # identity: 7 blocks
+        )
+        trivial = trivial_solution(universe)
+        assert smaller.flipflops == trivial.flipflops == 6
+        assert smaller.balance > trivial.balance
+        assert better(smaller, trivial)  # sum rule overrides balance
+
+    def test_balance_breaks_sum_ties(self):
+        universe = tuple("abcdefgh")
+        balanced = self._solution(
+            universe,
+            [("a", "b"), ("c", "d")],  # 6 blocks
+            [("e", "f"), ("g", "h")],  # 6 blocks
+        )
+        skewed = self._solution(
+            universe,
+            [("a", "b", "c"), ("d", "e")],  # 5 blocks
+            [("f", "g")],                   # 7 blocks
+        )
+        assert balanced.flipflops == skewed.flipflops == 6
+        assert balanced.k1 + balanced.k2 == skewed.k1 + skewed.k2 == 12
+        assert better(balanced, skewed)
+
+    def test_oriented(self):
+        universe = tuple("abcdefgh")
+        solution = self._solution(
+            universe,
+            [("a", "b", "c", "e"), ("d", "f", "g", "h")],  # 2 blocks
+            [("a", "c"), ("b", "d"), ("e", "g"), ("f", "h")],  # 4 blocks
+        )
+        oriented = solution.oriented()
+        assert (oriented.k1, oriented.k2) == (4, 2)
+        assert oriented.flipflops == solution.flipflops
+
+    def test_str(self):
+        universe = tuple("ab")
+        assert "trivial" in str(trivial_solution(universe))

@@ -1,0 +1,109 @@
+"""Property-based tests for the BIST register substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bist import Bilbo, BilboMode, Lfsr, Misr
+
+
+@given(
+    width=st.integers(min_value=2, max_value=12),
+    steps=st.integers(min_value=1, max_value=200),
+)
+def test_lfsr_states_always_nonzero(width, steps):
+    lfsr = Lfsr(width, seed=1)
+    for _ in range(steps):
+        assert lfsr.step() != 0
+
+
+@given(
+    width=st.integers(min_value=2, max_value=10),
+    seed=st.integers(min_value=1),
+)
+def test_lfsr_from_any_seed_valid(width, seed):
+    lfsr = Lfsr.from_any_seed(width, seed)
+    assert 0 < lfsr.state < (1 << width)
+    complete = Lfsr.from_any_seed(width, seed, complete=True)
+    assert 0 <= complete.state < (1 << width)
+
+
+@given(
+    width=st.integers(min_value=2, max_value=10),
+    prefix=st.lists(st.integers(min_value=0, max_value=1023), max_size=20),
+)
+def test_lfsr_determinism(width, prefix):
+    mask = (1 << width) - 1
+    a = Lfsr(width, seed=1)
+    b = Lfsr(width, seed=1)
+    for _ in prefix:
+        a.step()
+        b.step()
+    assert a.state == b.state
+
+
+@given(
+    width=st.integers(min_value=2, max_value=10),
+    stream=st.lists(st.integers(min_value=0, max_value=1023), min_size=1, max_size=50),
+)
+def test_misr_linearity(width, stream):
+    """sig(x ^ y) == sig(x) ^ sig(y) ^ sig(0) for equal-length streams."""
+    mask = (1 << width) - 1
+    xs = [value & mask for value in stream]
+    ys = [(value * 7 + 3) & mask for value in stream]
+    mx, my, mxy, m0 = Misr(width), Misr(width), Misr(width), Misr(width)
+    for x, y in zip(xs, ys):
+        mx.absorb(x)
+        my.absorb(y)
+        mxy.absorb(x ^ y)
+        m0.absorb(0)
+    assert mxy.signature == mx.signature ^ my.signature ^ m0.signature
+
+
+@given(
+    width=st.integers(min_value=2, max_value=10),
+    stream=st.lists(st.integers(min_value=0, max_value=1023), min_size=1, max_size=40),
+    flip_at=st.integers(min_value=0, max_value=39),
+    flip_bit=st.integers(min_value=0, max_value=9),
+)
+def test_misr_single_bit_error_never_aliases(width, stream, flip_at, flip_bit):
+    """A single-bit error in the stream always changes the signature.
+
+    Follows from linearity: the error stream has exactly one nonzero word
+    with one bit set, and an LFSR-shaped MISR maps a weight-1 error stream
+    to a nonzero state within `width` shifts, never cancelling it.
+    """
+    mask = (1 << width) - 1
+    xs = [value & mask for value in stream]
+    position = flip_at % len(xs)
+    bit = 1 << (flip_bit % width)
+    good, bad = Misr(width), Misr(width)
+    for index, value in enumerate(xs):
+        good.absorb(value)
+        bad.absorb(value ^ (bit if index == position else 0))
+    assert good.signature != bad.signature
+
+
+@given(
+    width=st.integers(min_value=2, max_value=10),
+    data=st.lists(st.integers(min_value=0, max_value=1023), min_size=1, max_size=30),
+)
+def test_bilbo_misr_mode_equals_misr(width, data):
+    mask = (1 << width) - 1
+    register = Bilbo(width, mode=BilboMode.MISR)
+    reference = Misr(width)
+    for value in data:
+        register.clock(data=value & mask)
+        reference.absorb(value & mask)
+    assert register.state == reference.signature
+
+
+@given(
+    width=st.integers(min_value=2, max_value=10),
+    steps=st.integers(min_value=1, max_value=100),
+)
+def test_bilbo_prpg_mode_equals_lfsr(width, steps):
+    register = Bilbo(width, mode=BilboMode.PRPG)
+    register.load(1)
+    reference = Lfsr(width, seed=1)
+    for _ in range(steps):
+        assert register.clock() == reference.step()

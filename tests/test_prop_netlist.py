@@ -1,0 +1,116 @@
+"""Property-based tests: netlist evaluation semantics.
+
+The central invariant of the fault-simulation substrate: bit-parallel
+evaluation over packed patterns equals pattern-by-pattern serial
+evaluation, with and without injected faults.
+"""
+
+import random as _random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist import Fault, GateKind, Netlist
+
+_KINDS = (GateKind.AND, GateKind.OR, GateKind.XOR, GateKind.NOT, GateKind.BUF)
+
+
+@st.composite
+def random_netlists(draw, max_inputs=4, max_gates=8):
+    n_inputs = draw(st.integers(min_value=1, max_value=max_inputs))
+    n_gates = draw(st.integers(min_value=1, max_value=max_gates))
+    netlist = Netlist("hyp")
+    nets = []
+    for position in range(n_inputs):
+        nets.append(netlist.add_input(f"i{position}"))
+    for position in range(n_gates):
+        kind = draw(st.sampled_from(_KINDS))
+        if kind in (GateKind.NOT, GateKind.BUF):
+            operands = [nets[draw(st.integers(0, len(nets) - 1))]]
+        else:
+            count = draw(st.integers(min_value=1, max_value=3))
+            operands = [
+                nets[draw(st.integers(0, len(nets) - 1))] for _ in range(count)
+            ]
+        nets.append(netlist.add_gate(kind, f"g{position}", operands))
+    # mark a non-empty suffix of nets as outputs
+    n_outputs = draw(st.integers(min_value=1, max_value=min(3, n_gates)))
+    for net in nets[-n_outputs:]:
+        netlist.mark_output(net)
+    return netlist.freeze()
+
+
+@st.composite
+def netlist_with_patterns(draw):
+    netlist = draw(random_netlists())
+    n_patterns = draw(st.integers(min_value=1, max_value=8))
+    patterns = [
+        [draw(st.integers(0, 1)) for _ in netlist.inputs]
+        for _ in range(n_patterns)
+    ]
+    return netlist, patterns
+
+
+def _pack(netlist, patterns):
+    packed = {net: 0 for net in netlist.inputs}
+    for position, pattern in enumerate(patterns):
+        for net, bit in zip(netlist.inputs, pattern):
+            packed[net] |= bit << position
+    return packed, (1 << len(patterns)) - 1
+
+
+@given(netlist_with_patterns())
+def test_bit_parallel_equals_serial(data):
+    netlist, patterns = data
+    packed, mask = _pack(netlist, patterns)
+    parallel = netlist.evaluate_outputs(packed, mask=mask)
+    for position, pattern in enumerate(patterns):
+        serial = netlist.evaluate_outputs(dict(zip(netlist.inputs, pattern)))
+        for net in netlist.outputs:
+            assert (parallel[net] >> position) & 1 == serial[net]
+
+
+@given(netlist_with_patterns(), st.integers(0, 10 ** 6), st.integers(0, 1))
+def test_bit_parallel_equals_serial_under_fault(data, selector, stuck):
+    netlist, patterns = data
+    nets = netlist.nets()
+    fault = Fault(net=nets[selector % len(nets)], stuck_at=stuck)
+    packed, mask = _pack(netlist, patterns)
+    parallel = netlist.evaluate_outputs(packed, mask=mask, fault=fault)
+    for position, pattern in enumerate(patterns):
+        serial = netlist.evaluate_outputs(
+            dict(zip(netlist.inputs, pattern)), fault=fault
+        )
+        for net in netlist.outputs:
+            assert (parallel[net] >> position) & 1 == serial[net]
+
+
+@given(netlist_with_patterns(), st.integers(0, 10 ** 6), st.integers(0, 1))
+def test_branch_fault_parallel_equals_serial(data, selector, stuck):
+    netlist, patterns = data
+    gate_index = selector % netlist.n_gates
+    gate = netlist.gates[gate_index]
+    if not gate.inputs:
+        return
+    fault = Fault(
+        net=gate.inputs[0], stuck_at=stuck, gate_index=gate_index, pin=0
+    )
+    packed, mask = _pack(netlist, patterns)
+    parallel = netlist.evaluate_outputs(packed, mask=mask, fault=fault)
+    for position, pattern in enumerate(patterns):
+        serial = netlist.evaluate_outputs(
+            dict(zip(netlist.inputs, pattern)), fault=fault
+        )
+        for net in netlist.outputs:
+            assert (parallel[net] >> position) & 1 == serial[net]
+
+
+@given(random_netlists())
+def test_levels_bound_critical_path(netlist):
+    levels = netlist.levels()
+    assert netlist.critical_path() == max(
+        (levels[net] for net in netlist.outputs), default=0
+    )
+    for gate in netlist.gates:
+        for operand in gate.inputs:
+            assert levels[operand] < levels[gate.output]

@@ -1,0 +1,85 @@
+"""Property-based tests of the OSTR pipeline end to end."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fsm import MealyMachine, behaviourally_realizes, check_realization
+from repro.fsm.equivalence import equivalence_labels
+from repro.ostr import exhaustive_ostr, realize, search_ostr, trivial_solution
+from repro.partitions import kernel
+from repro.partitions.pairs import is_symmetric_pair
+
+
+@st.composite
+def small_machines(draw, max_states=5, max_inputs=2):
+    n = draw(st.integers(min_value=2, max_value=max_states))
+    n_inputs = draw(st.integers(min_value=1, max_value=max_inputs))
+    succ = [
+        [draw(st.integers(min_value=0, max_value=n - 1)) for _ in range(n_inputs)]
+        for _ in range(n)
+    ]
+    out = [
+        [draw(st.integers(min_value=0, max_value=1)) for _ in range(n_inputs)]
+        for _ in range(n)
+    ]
+    return MealyMachine.from_tables(
+        "hyp",
+        [f"s{k}" for k in range(n)],
+        [f"i{k}" for k in range(n_inputs)],
+        ["o0", "o1"],
+        succ,
+        out,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_machines())
+def test_search_solution_is_valid(machine):
+    result = search_ostr(machine)
+    solution = result.solution
+    assert is_symmetric_pair(machine.succ_table, solution.pi, solution.theta)
+    meet = kernel.meet(solution.pi.labels, solution.theta.labels)
+    assert kernel.refines(meet, equivalence_labels(machine))
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_machines())
+def test_search_never_worse_than_trivial(machine):
+    result = search_ostr(machine)
+    assert result.solution.cost_key() <= trivial_solution(machine.states).cost_key()
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_machines())
+def test_realization_verifies_definition3(machine):
+    result = search_ostr(machine)
+    realization = result.realization()
+    check_realization(machine, realization.machine, realization.witness)
+    assert behaviourally_realizes(machine, realization.machine, realization.witness)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_machines())
+def test_search_bounded_by_exhaustive(machine):
+    """The exhaustive optimum lower-bounds the search (both policies)."""
+    optimum = exhaustive_ostr(machine)
+    for policy in ("paper", "extended"):
+        found = search_ostr(machine, policy=policy)
+        assert found.solution.cost_key()[:3] >= optimum.cost_key()[:3]
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_machines())
+def test_realizing_any_exhaustive_solution_works(machine):
+    solution = exhaustive_ostr(machine)
+    realization = realize(machine, solution.pi, solution.theta)
+    check_realization(machine, realization.machine, realization.witness)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_machines())
+def test_pruned_and_unpruned_agree(machine):
+    pruned = search_ostr(machine)
+    full = search_ostr(machine, prune=False, node_limit=200_000)
+    if full.exact and pruned.exact:
+        assert pruned.solution.cost_key()[:3] == full.solution.cost_key()[:3]

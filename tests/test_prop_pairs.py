@@ -1,0 +1,108 @@
+"""Property-based tests: m/M operators and partition pairs on random machines."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partitions import kernel
+
+
+@st.composite
+def machine_and_partitions(draw, max_n=7, max_inputs=3):
+    """A random successor table plus two random partitions."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    n_inputs = draw(st.integers(min_value=1, max_value=max_inputs))
+    succ = tuple(
+        tuple(
+            draw(st.integers(min_value=0, max_value=n - 1))
+            for _ in range(n_inputs)
+        )
+        for _ in range(n)
+    )
+    raw_a = [draw(st.integers(min_value=0, max_value=n - 1)) for _ in range(n)]
+    raw_b = [draw(st.integers(min_value=0, max_value=n - 1)) for _ in range(n)]
+    return succ, kernel.canonical(raw_a), kernel.canonical(raw_b)
+
+
+@given(machine_and_partitions())
+def test_m_always_forms_a_pair(data):
+    succ, a, _ = data
+    assert kernel.is_pair(succ, a, kernel.m_operator(succ, a))
+
+
+@given(machine_and_partitions())
+def test_big_m_always_forms_a_pair(data):
+    succ, a, _ = data
+    assert kernel.is_pair(succ, kernel.big_m_operator(succ, a), a)
+
+
+@given(machine_and_partitions())
+def test_galois_connection(data):
+    """pair(a, b)  <=>  m(a) <= b  <=>  a <= M(b)."""
+    succ, a, b = data
+    lhs = kernel.is_pair(succ, a, b)
+    assert lhs == kernel.refines(kernel.m_operator(succ, a), b)
+    assert lhs == kernel.refines(a, kernel.big_m_operator(succ, b))
+
+
+@given(machine_and_partitions())
+def test_m_monotone(data):
+    succ, a, b = data
+    joined = kernel.join(a, b)
+    assert kernel.refines(
+        kernel.m_operator(succ, a), kernel.m_operator(succ, joined)
+    )
+
+
+@given(machine_and_partitions())
+def test_big_m_monotone(data):
+    succ, a, b = data
+    joined = kernel.join(a, b)
+    assert kernel.refines(
+        kernel.big_m_operator(succ, a), kernel.big_m_operator(succ, joined)
+    )
+
+
+@given(machine_and_partitions())
+def test_m_distributes_over_join(data):
+    """m is join-preserving (the property behind the search-tree basis)."""
+    succ, a, b = data
+    direct = kernel.m_operator(succ, kernel.join(a, b))
+    combined = kernel.join(
+        kernel.m_operator(succ, a), kernel.m_operator(succ, b)
+    )
+    assert direct == combined
+
+
+@given(machine_and_partitions())
+def test_closure_inequalities(data):
+    """a <= M(m(a)) and m(M(b)) <= b (Galois closure/kernel operators)."""
+    succ, a, b = data
+    assert kernel.refines(a, kernel.big_m_operator(succ, kernel.m_operator(succ, a)))
+    assert kernel.refines(
+        kernel.m_operator(succ, kernel.big_m_operator(succ, b)), b
+    )
+
+
+@given(machine_and_partitions())
+def test_symmetry_criterion(data):
+    """(a, b) symmetric pair <=> m(a) <= b <= M(a) -- the search's test."""
+    succ, a, b = data
+    symmetric = kernel.is_pair(succ, a, b) and kernel.is_pair(succ, b, a)
+    criterion = kernel.refines(kernel.m_operator(succ, a), b) and kernel.refines(
+        b, kernel.big_m_operator(succ, a)
+    )
+    assert symmetric == criterion
+
+
+@given(machine_and_partitions())
+def test_identity_pairs_with_everything(data):
+    succ, a, _ = data
+    n = len(succ)
+    assert kernel.is_pair(succ, kernel.identity(n), a)
+
+
+@given(machine_and_partitions())
+def test_one_block_is_pair_second(data):
+    succ, a, _ = data
+    n = len(succ)
+    assert kernel.is_pair(succ, a, kernel.one_block(n))

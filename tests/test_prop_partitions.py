@@ -1,0 +1,137 @@
+"""Property-based tests: the partition lattice laws."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partitions import kernel
+
+
+def labels_strategy(max_n: int = 8):
+    """Canonical label tuples over universes of size 1..max_n."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=1, max_value=max_n))
+        raw = [draw(st.integers(min_value=0, max_value=n - 1)) for _ in range(n)]
+        return kernel.canonical(raw)
+
+    return build()
+
+
+def paired_labels(max_n: int = 8):
+    """Two partitions over the same universe."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=1, max_value=max_n))
+        raw_a = [draw(st.integers(min_value=0, max_value=n - 1)) for _ in range(n)]
+        raw_b = [draw(st.integers(min_value=0, max_value=n - 1)) for _ in range(n)]
+        return kernel.canonical(raw_a), kernel.canonical(raw_b)
+
+    return build()
+
+
+def tripled_labels(max_n: int = 7):
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=1, max_value=max_n))
+        out = []
+        for _ in range(3):
+            raw = [draw(st.integers(min_value=0, max_value=n - 1)) for _ in range(n)]
+            out.append(kernel.canonical(raw))
+        return tuple(out)
+
+    return build()
+
+
+@given(labels_strategy())
+def test_canonical_is_idempotent(labels):
+    assert kernel.canonical(labels) == labels
+    assert kernel.is_canonical(labels)
+
+
+@given(labels_strategy())
+def test_join_meet_idempotent(labels):
+    assert kernel.join(labels, labels) == labels
+    assert kernel.meet(labels, labels) == labels
+
+
+@given(paired_labels())
+def test_join_commutative(pair):
+    a, b = pair
+    assert kernel.join(a, b) == kernel.join(b, a)
+
+
+@given(paired_labels())
+def test_meet_commutative(pair):
+    a, b = pair
+    assert kernel.meet(a, b) == kernel.meet(b, a)
+
+
+@given(tripled_labels())
+def test_join_associative(triple):
+    a, b, c = triple
+    assert kernel.join(kernel.join(a, b), c) == kernel.join(a, kernel.join(b, c))
+
+
+@given(tripled_labels())
+def test_meet_associative(triple):
+    a, b, c = triple
+    assert kernel.meet(kernel.meet(a, b), c) == kernel.meet(a, kernel.meet(b, c))
+
+
+@given(paired_labels())
+def test_absorption_laws(pair):
+    a, b = pair
+    assert kernel.join(a, kernel.meet(a, b)) == a
+    assert kernel.meet(a, kernel.join(a, b)) == a
+
+
+@given(paired_labels())
+def test_join_is_least_upper_bound(pair):
+    a, b = pair
+    joined = kernel.join(a, b)
+    assert kernel.refines(a, joined)
+    assert kernel.refines(b, joined)
+
+
+@given(paired_labels())
+def test_meet_is_greatest_lower_bound(pair):
+    a, b = pair
+    met = kernel.meet(a, b)
+    assert kernel.refines(met, a)
+    assert kernel.refines(met, b)
+
+
+@given(paired_labels())
+def test_refines_iff_join_absorbs(pair):
+    a, b = pair
+    assert kernel.refines(a, b) == (kernel.join(a, b) == b)
+
+
+@given(paired_labels())
+def test_refines_iff_meet_absorbs(pair):
+    a, b = pair
+    assert kernel.refines(a, b) == (kernel.meet(a, b) == a)
+
+
+@given(labels_strategy())
+def test_extremes_bound_everything(labels):
+    n = len(labels)
+    assert kernel.refines(kernel.identity(n), labels)
+    assert kernel.refines(labels, kernel.one_block(n))
+
+
+@given(paired_labels())
+def test_meet_is_identity_agrees_with_meet(pair):
+    a, b = pair
+    assert kernel.meet_is_identity(a, b) == (
+        kernel.meet(a, b) == kernel.identity(len(a))
+    )
+
+
+@given(labels_strategy())
+def test_blocks_partition_the_universe(labels):
+    blocks = kernel.blocks(labels)
+    flat = sorted(x for block in blocks for x in block)
+    assert flat == list(range(len(labels)))

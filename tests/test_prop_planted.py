@@ -1,0 +1,77 @@
+"""Property-based tests: planted decompositions are always recovered.
+
+The suite generators plant a symmetric Mm-pair with known factor sizes;
+the OSTR search must always return a solution at least as good.  This is
+the end-to-end soundness property behind the Table-1 reproduction.
+"""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import FsmError
+from repro.ostr import pipeline_flipflops, realize, search_ostr
+from repro.partitions.pairs import is_symmetric_pair
+from repro.suite.generators import full_product, grid_embedded, two_coset
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    k1=st.integers(min_value=2, max_value=5),
+    k2=st.integers(min_value=2, max_value=5),
+    extra=st.integers(min_value=0, max_value=3),
+    seed=st.integers(min_value=0, max_value=30),
+)
+def test_grid_embedded_planted_pair_is_never_beaten(k1, k2, extra, seed):
+    n = min(max(k1, k2) + extra, k1 * k2)
+    try:
+        planted = grid_embedded(k1, k2, n, n_inputs=2, seed=seed, max_tries=150)
+    except FsmError:
+        assume(False)  # infeasible draw; hypothesis picks another
+        return
+    machine = planted.machine
+    # Generator promises.
+    assert is_symmetric_pair(machine.succ_table, planted.pi, planted.theta)
+    assert planted.pi.num_blocks == k1
+    assert planted.theta.num_blocks == k2
+    # The planted pair itself realizes the machine.
+    realize(machine, planted.pi, planted.theta)
+    # The search can only do as well or better.
+    result = search_ostr(machine)
+    assert result.solution.flipflops <= pipeline_flipflops(k1, k2)
+    result.realization()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    k1=st.integers(min_value=2, max_value=4),
+    k2=st.integers(min_value=2, max_value=3),
+    seed=st.integers(min_value=0, max_value=20),
+)
+def test_full_product_planted_pair_is_never_beaten(k1, k2, seed):
+    try:
+        planted = full_product(k1, k2, n_inputs=3, seed=seed, max_tries=400)
+    except FsmError:
+        assume(False)
+        return
+    machine = planted.machine
+    assert machine.n_states == k1 * k2
+    result = search_ostr(machine)
+    assert result.solution.flipflops <= pipeline_flipflops(k1, k2)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    k=st.integers(min_value=3, max_value=8),
+    seed=st.integers(min_value=0, max_value=20),
+)
+def test_two_coset_planted_pair_is_never_beaten(k, seed):
+    try:
+        planted = two_coset(k, n_inputs=3, seed=seed)
+    except FsmError:
+        assume(False)
+        return
+    machine = planted.machine
+    assert machine.n_states == 2 * k
+    result = search_ostr(machine, node_limit=50_000)
+    assert result.solution.flipflops <= pipeline_flipflops(k, k)

@@ -1,0 +1,56 @@
+"""Tests for the random machine generators."""
+
+import pytest
+
+from repro.exceptions import FsmError
+from repro.fsm import (
+    is_reduced,
+    is_strongly_connected,
+    random_mealy,
+    random_reduced_mealy,
+)
+
+
+def test_deterministic_in_seed():
+    a = random_mealy(6, 2, 2, seed=42)
+    b = random_mealy(6, 2, 2, seed=42)
+    assert a == b
+
+
+def test_different_seeds_differ():
+    a = random_mealy(6, 2, 2, seed=1)
+    b = random_mealy(6, 2, 2, seed=2)
+    assert a != b
+
+
+def test_requested_sizes():
+    machine = random_mealy(5, 3, 4, seed=0)
+    assert machine.n_states == 5
+    assert machine.n_inputs == 3
+    assert machine.n_outputs == 4
+
+
+def test_connectivity_guarantee():
+    for seed in range(10):
+        machine = random_mealy(7, 2, 2, seed=seed, ensure_connected=True)
+        assert is_strongly_connected(machine)
+
+
+def test_reducedness_guarantee():
+    for seed in range(10):
+        machine = random_reduced_mealy(6, 2, 2, seed=seed)
+        assert is_reduced(machine)
+        assert is_strongly_connected(machine)
+
+
+def test_invalid_sizes_rejected():
+    with pytest.raises(FsmError):
+        random_mealy(0, 1, 1)
+    with pytest.raises(FsmError):
+        random_mealy(3, 0, 1)
+
+
+def test_single_state_machine():
+    machine = random_mealy(1, 2, 1, seed=0)
+    assert machine.n_states == 1
+    assert is_strongly_connected(machine)

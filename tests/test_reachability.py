@@ -1,0 +1,92 @@
+"""Tests for reachability and strong-connectivity analysis."""
+
+from repro.fsm import (
+    MealyMachine,
+    is_connected,
+    is_strongly_connected,
+    reachable_states,
+    strongly_connected_components,
+)
+
+
+def chain_machine():
+    """a -> b -> c -> c (c absorbs; a unreachable from elsewhere)."""
+    transitions = {
+        ("a", "0"): ("b", "x"),
+        ("b", "0"): ("c", "x"),
+        ("c", "0"): ("c", "x"),
+    }
+    return MealyMachine("chain", ("a", "b", "c"), ("0",), ("x",), transitions)
+
+
+def test_reachable_from_reset():
+    machine = chain_machine()
+    assert reachable_states(machine) == {"a", "b", "c"}
+
+
+def test_reachable_from_interior():
+    machine = chain_machine()
+    assert reachable_states(machine, "b") == {"b", "c"}
+
+
+def test_is_connected():
+    assert is_connected(chain_machine())
+
+
+def test_not_strongly_connected():
+    machine = chain_machine()
+    assert not is_strongly_connected(machine)
+    components = strongly_connected_components(machine)
+    assert {"c"} in [set(c) for c in components]
+    assert len(components) == 3
+
+
+def test_cycle_is_strongly_connected():
+    transitions = {
+        ("a", "0"): ("b", "x"),
+        ("b", "0"): ("c", "x"),
+        ("c", "0"): ("a", "x"),
+    }
+    machine = MealyMachine("ring", ("a", "b", "c"), ("0",), ("x",), transitions)
+    assert is_strongly_connected(machine)
+    assert len(strongly_connected_components(machine)) == 1
+
+
+def test_two_component_structure():
+    transitions = {
+        ("a", "0"): ("b", "x"),
+        ("a", "1"): ("b", "x"),
+        ("b", "0"): ("a", "x"),
+        ("b", "1"): ("c", "x"),
+        ("c", "0"): ("d", "x"),
+        ("c", "1"): ("d", "x"),
+        ("d", "0"): ("c", "x"),
+        ("d", "1"): ("c", "x"),
+    }
+    machine = MealyMachine(
+        "two", ("a", "b", "c", "d"), ("0", "1"), ("x",), transitions
+    )
+    components = [set(c) for c in strongly_connected_components(machine)]
+    assert {"a", "b"} in components
+    assert {"c", "d"} in components
+
+
+def test_shiftreg_strongly_connected(shiftreg):
+    assert is_strongly_connected(shiftreg)
+
+
+def test_paper_example_has_two_components(example_machine):
+    """The Figure-5 machine is illustrative, not a controller: its state
+    graph splits into {1,3} and {2,4} (each the image of one theta-block
+    under the published pair)."""
+    assert not is_strongly_connected(example_machine)
+    components = [set(c) for c in strongly_connected_components(example_machine)]
+    assert {"1", "3"} in components
+    assert {"2", "4"} in components
+    assert reachable_states(example_machine, "1") == {"1", "3"}
+
+
+def test_single_state():
+    machine = MealyMachine("one", ("s",), ("0",), ("x",), {("s", "0"): ("s", "x")})
+    assert is_strongly_connected(machine)
+    assert reachable_states(machine) == {"s"}

@@ -1,0 +1,37 @@
+"""Tests for table formatting."""
+
+from repro.reporting import flag, format_percent, format_table
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ("Name", "n"),
+        [("alpha", 1), ("b", 22)],
+    )
+    lines = text.splitlines()
+    assert lines[0].startswith("Name")
+    assert lines[1].startswith("---")
+    # Right-aligned numeric column.
+    assert lines[2].endswith(" 1")
+    assert lines[3].endswith("22")
+
+
+def test_format_table_title():
+    text = format_table(("a",), [(1,)], title="My Table")
+    assert text.splitlines()[0] == "My Table"
+
+
+def test_left_alignment_configurable():
+    text = format_table(("x", "y"), [("aa", "bb")], align_left=(0, 1))
+    assert "aa  bb" in text
+
+
+def test_format_percent():
+    assert format_percent(0.5) == "50.0%"
+    assert format_percent(1.0) == "100.0%"
+
+
+def test_flag():
+    assert flag(True) == "*"
+    assert flag(False) == ""
+    assert flag(True, "!") == "!"

@@ -1,0 +1,86 @@
+"""Tests for trace simulation and I/O equivalence."""
+
+import pytest
+
+from repro.exceptions import FsmError
+from repro.fsm import (
+    MealyMachine,
+    io_equivalent,
+    output_sequence,
+    simulate,
+)
+from repro.fsm.simulate import random_input_sequence
+
+
+class TestSimulate:
+    def test_trace_shape(self, example_machine):
+        trace = simulate(example_machine, ["1", "0", "1"])
+        assert len(trace) == 3
+        assert len(trace.states) == 4
+        assert len(trace.outputs) == 3
+
+    def test_paper_example_trace(self, example_machine):
+        """Walk the Figure-5 table by hand: 1 --1--> 3 --1--> 1 --0--> 1."""
+        trace = simulate(example_machine, ["1", "1", "0"], start="1")
+        assert trace.states == ("1", "3", "1", "1")
+        assert trace.outputs == ("1", "1", "1")
+
+    def test_shiftreg_shifts(self, shiftreg):
+        trace = simulate(shiftreg, ["1", "1", "0"], start="000")
+        assert trace.states == ("000", "001", "011", "110")
+        assert trace.outputs == ("0", "0", "0")
+
+    def test_output_sequence(self, shiftreg):
+        # Outputs replay the inputs delayed by three shifts.
+        word = ["1", "0", "1", "1", "0", "0"]
+        outputs = output_sequence(shiftreg, word, start="000")
+        assert list(outputs[3:]) == word[:3]
+
+    def test_invalid_start(self, example_machine):
+        with pytest.raises(FsmError):
+            simulate(example_machine, ["1"], start="nope")
+
+    def test_random_input_sequence_deterministic(self, example_machine):
+        a = random_input_sequence(example_machine, 10, seed=5)
+        b = random_input_sequence(example_machine, 10, seed=5)
+        assert a == b
+        assert all(symbol in example_machine.inputs for symbol in a)
+
+
+class TestIoEquivalence:
+    def test_machine_equivalent_to_itself(self, example_machine):
+        assert io_equivalent(example_machine, "1", example_machine, "1")
+
+    def test_different_start_states_not_equivalent(self, example_machine):
+        # The example machine is reduced, so distinct states differ.
+        assert not io_equivalent(example_machine, "1", example_machine, "2")
+
+    def test_with_output_map(self):
+        transitions_a = {("s", "0"): ("s", "hi")}
+        transitions_b = {("s", "0"): ("s", "lo")}
+        a = MealyMachine("a", ("s",), ("0",), ("hi",), transitions_a)
+        b = MealyMachine("b", ("s",), ("0",), ("lo",), transitions_b)
+        assert io_equivalent(a, "s", b, "s", output_map={"lo": "hi"})
+
+    def test_missing_input_requires_map(self, example_machine):
+        other = MealyMachine(
+            "m", ("s",), ("p", "q"), ("1", "0"),
+            {("s", "p"): ("s", "1"), ("s", "q"): ("s", "0")},
+        )
+        with pytest.raises(FsmError):
+            io_equivalent(example_machine, "1", other, "s")
+
+    def test_with_input_map(self, example_machine):
+        relabeled = MealyMachine(
+            "r",
+            example_machine.states,
+            ("a", "b"),
+            example_machine.outputs,
+            {
+                (s, {"1": "a", "0": "b"}[i]): (t, o)
+                for s, i, t, o in example_machine.transitions()
+            },
+        )
+        assert io_equivalent(
+            example_machine, "1", relabeled, "1", input_map={"1": "a", "0": "b"}
+        )

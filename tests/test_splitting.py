@@ -1,0 +1,121 @@
+"""Tests for the state-splitting extension (the paper's future work)."""
+
+import pytest
+
+from repro.exceptions import FsmError, SearchError
+from repro.fsm import io_equivalent, is_reduced, minimized
+from repro.ostr import (
+    incoming_transitions,
+    search_ostr,
+    search_with_splitting,
+    split_state,
+)
+from repro.suite.generators import merged_roles_machine
+
+
+class TestSplitState:
+    def test_split_grows_by_one(self, example_machine):
+        slots = incoming_transitions(example_machine, "1")
+        assert len(slots) >= 2
+        split = split_state(example_machine, "1", slots[:1])
+        assert split.n_states == example_machine.n_states + 1
+        assert "1#0" in split.states and "1#1" in split.states
+
+    def test_split_preserves_behaviour(self, example_machine):
+        for state in example_machine.states:
+            slots = incoming_transitions(example_machine, state)
+            if len(slots) < 2:
+                continue
+            split = split_state(example_machine, state, slots[1:])
+            assert io_equivalent(
+                example_machine,
+                example_machine.reset_state,
+                split,
+                split.reset_state,
+            )
+
+    def test_copies_are_equivalent_states(self, shiftreg):
+        slots = incoming_transitions(shiftreg, "000")
+        split = split_state(shiftreg, "000", slots[:1])
+        small = minimized(split)
+        assert small.n_states == shiftreg.n_states
+
+    def test_reset_state_follows_first_copy(self, example_machine):
+        slots = incoming_transitions(example_machine, "1")
+        split = split_state(example_machine, "1", slots[:1])
+        assert split.reset_state == "1#0"
+
+    def test_invalid_slot_rejected(self, example_machine):
+        with pytest.raises(FsmError):
+            split_state(example_machine, "1", [(0, 0), (1, 1), (2, 0), (99, 0)])
+        # a slot that exists but does not enter "1"
+        target = example_machine.state_index("2")
+        bad = None
+        for source in range(example_machine.n_states):
+            for i in range(example_machine.n_inputs):
+                if example_machine.succ_table[source][i] == target:
+                    bad = (source, i)
+        with pytest.raises(FsmError, match="does not enter"):
+            split_state(example_machine, "1", [bad])
+
+    def test_incoming_transitions(self, example_machine):
+        # State "1" is entered by delta(1,0)=1 and delta(3,1)=1.
+        slots = incoming_transitions(example_machine, "1")
+        as_symbols = {
+            (example_machine.states[s], example_machine.inputs[i])
+            for s, i in slots
+        }
+        assert as_symbols == {("1", "0"), ("3", "1")}
+
+
+class TestSearchWithSplitting:
+    def test_improves_merged_roles_machine(self):
+        machine = merged_roles_machine(seed=0)
+        assert machine.n_states == 5
+        assert is_reduced(machine)
+        base = search_ostr(machine)
+        outcome = search_with_splitting(machine, max_splits=2)
+        assert outcome.improved
+        assert outcome.solution.flipflops < base.solution.flipflops
+        assert outcome.solution.flipflops == 3
+        # behaviour is untouched
+        assert io_equivalent(
+            machine,
+            machine.reset_state,
+            outcome.machine,
+            outcome.machine.reset_state,
+        )
+        # and the realization of the split machine verifies Definition 3
+        outcome.result.realization()
+
+    def test_no_split_when_machine_already_optimal(self, shiftreg):
+        outcome = search_with_splitting(shiftreg, max_splits=1)
+        assert not outcome.improved
+        assert outcome.machine is shiftreg
+        assert outcome.solution.flipflops == 3
+
+    def test_zero_budget(self, example_machine):
+        outcome = search_with_splitting(example_machine, max_splits=0)
+        assert not outcome.improved
+        assert outcome.solution.flipflops == 2
+
+    def test_state_budget_respected(self):
+        machine = merged_roles_machine(seed=0)
+        outcome = search_with_splitting(machine, max_splits=3, max_states=5)
+        assert outcome.machine.n_states <= 5  # no room to split
+        assert not outcome.improved
+
+    def test_invalid_budget(self, example_machine):
+        with pytest.raises(SearchError):
+            search_with_splitting(example_machine, max_splits=-1)
+
+    def test_summary_mentions_steps(self):
+        machine = merged_roles_machine(seed=0)
+        outcome = search_with_splitting(machine, max_splits=2)
+        assert "after splitting" in outcome.summary()
+
+    @pytest.mark.parametrize("seed", [0, 2, 3, 5])
+    def test_known_improving_seeds(self, seed):
+        machine = merged_roles_machine(seed=seed)
+        outcome = search_with_splitting(machine, max_splits=2)
+        assert outcome.solution.flipflops == 3

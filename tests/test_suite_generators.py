@@ -1,0 +1,117 @@
+"""Tests for the benchmark-machine constructions and their promises."""
+
+import pytest
+
+from repro.exceptions import FsmError
+from repro.fsm import is_reduced, is_strongly_connected
+from repro.partitions import kernel
+from repro.partitions.pairs import is_symmetric_pair, m_of, big_m_of
+from repro.suite import (
+    full_product,
+    grid_embedded,
+    paper_example,
+    paper_example_pair,
+    shift_register,
+    two_coset,
+)
+
+
+class TestPaperExample:
+    def test_matches_ocr_corrected_figure5(self):
+        machine = paper_example()
+        assert machine.delta("2", "1") == "2"  # the corrected entry
+        assert machine.lam("2", "1") == "0"
+        assert machine.delta("1", "1") == "3"
+        assert machine.lam("4", "0") == "1"
+
+    def test_published_pair_promises(self):
+        machine = paper_example()
+        pi, theta = paper_example_pair()
+        assert is_symmetric_pair(machine.succ_table, pi, theta)
+        assert (pi & theta).is_identity()
+        assert pi.blocks() == (("1", "2"), ("3", "4"))
+        assert theta.blocks() == (("1", "4"), ("2", "3"))
+
+    def test_reduced(self):
+        assert is_reduced(paper_example())
+
+
+class TestShiftRegister:
+    def test_structure(self):
+        machine = shift_register(3)
+        assert machine.n_states == 8
+        assert machine.delta("101", "0") == "010"
+        assert machine.lam("101", "0") == "1"
+
+    def test_other_widths(self):
+        machine = shift_register(2)
+        assert machine.n_states == 4
+        assert machine.delta("10", "1") == "01"
+
+    def test_invalid_width(self):
+        with pytest.raises(FsmError):
+            shift_register(0)
+
+
+class TestGridEmbedded:
+    @pytest.mark.parametrize(
+        "k1,k2,n,n_inputs,seed",
+        [(3, 3, 4, 2, 1), (4, 3, 5, 2, 7), (6, 7, 7, 2, 1), (7, 7, 10, 4, 1)],
+    )
+    def test_promises(self, k1, k2, n, n_inputs, seed):
+        planted = grid_embedded(k1, k2, n, n_inputs=n_inputs, seed=seed)
+        machine = planted.machine
+        assert machine.n_states == n
+        assert is_strongly_connected(machine)
+        assert is_reduced(machine)
+        succ = machine.succ_table
+        assert planted.pi.num_blocks == k1
+        assert planted.theta.num_blocks == k2
+        assert is_symmetric_pair(succ, planted.pi, planted.theta)
+        assert (planted.pi & planted.theta).is_identity()
+        # The planted pair is an Mm-pair (reachable by the paper search).
+        assert big_m_of(succ, planted.theta) == planted.pi
+        assert m_of(succ, planted.pi) == planted.theta
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(FsmError):
+            grid_embedded(3, 3, 10, seed=0)  # n > k1*k2
+        with pytest.raises(FsmError):
+            grid_embedded(4, 4, 3, seed=0)  # n < max(k1,k2)
+
+    def test_deterministic(self):
+        a = grid_embedded(4, 4, 6, seed=9)
+        b = grid_embedded(4, 4, 6, seed=9)
+        assert a.machine == b.machine
+
+
+class TestFullProduct:
+    def test_full_grid(self):
+        planted = full_product(2, 3, seed=3)
+        assert planted.machine.n_states == 6
+        assert planted.pi.num_blocks == 2
+        assert planted.theta.num_blocks == 3
+
+
+class TestTwoCoset:
+    @pytest.mark.parametrize("k,seed", [(4, 1), (8, 2), (16, 7)])
+    def test_promises(self, k, seed):
+        planted = two_coset(k, n_inputs=3, n_outputs=3, seed=seed)
+        machine = planted.machine
+        assert machine.n_states == 2 * k
+        assert is_strongly_connected(machine)
+        assert is_reduced(machine)
+        succ = machine.succ_table
+        assert planted.pi.num_blocks == k
+        assert planted.theta.num_blocks == k
+        assert is_symmetric_pair(succ, planted.pi, planted.theta)
+        assert big_m_of(succ, planted.theta) == planted.pi
+        assert m_of(succ, planted.pi) == planted.theta
+
+    def test_small_k_rejected(self):
+        with pytest.raises(FsmError):
+            two_coset(2)
+
+    def test_needs_two_inputs(self):
+        with pytest.raises(FsmError):
+            two_coset(8, n_inputs=1)

@@ -1,0 +1,157 @@
+"""Tests for the Theorem-1 constructor (the heart of the paper)."""
+
+import pytest
+
+from repro.exceptions import RealizationError
+from repro.fsm import behaviourally_realizes, check_realization
+from repro.ostr import realize, supports_self_testable_structure
+from repro.partitions import Partition
+
+
+class TestPaperExample:
+    """The worked example: Figures 6, 7 and 8."""
+
+    def test_realize_succeeds(self, example_machine, example_pair):
+        realization = realize(example_machine, *example_pair)
+        assert realization.machine.n_states == 4  # 2 x 2 product
+
+    def test_figure7_delta1(self, example_machine, example_pair):
+        realization = realize(example_machine, *example_pair)
+        delta1 = realization.delta1
+        assert delta1[("{1,2}", "1")] == "{2,3}"
+        assert delta1[("{1,2}", "0")] == "{1,4}"
+        assert delta1[("{3,4}", "1")] == "{1,4}"
+        assert delta1[("{3,4}", "0")] == "{2,3}"
+
+    def test_figure7_delta2(self, example_machine, example_pair):
+        realization = realize(example_machine, *example_pair)
+        delta2 = realization.delta2
+        assert delta2[("{1,4}", "1")] == "{3,4}"
+        assert delta2[("{1,4}", "0")] == "{1,2}"
+        assert delta2[("{2,3}", "1")] == "{1,2}"
+        assert delta2[("{2,3}", "0")] == "{3,4}"
+
+    def test_figure8_register_widths(self, example_machine, example_pair):
+        realization = realize(example_machine, *example_pair)
+        assert realization.register_widths == (1, 1)
+        assert realization.flipflops == 2
+
+    def test_mstar_realizes_m(self, example_machine, example_pair):
+        realization = realize(example_machine, *example_pair)
+        check_realization(
+            example_machine, realization.machine, realization.witness
+        )
+        assert behaviourally_realizes(
+            example_machine, realization.machine, realization.witness
+        )
+
+    def test_mstar_supports_self_testable_structure(
+        self, example_machine, example_pair
+    ):
+        realization = realize(example_machine, *example_pair)
+        assert supports_self_testable_structure(
+            realization.machine,
+            s1_size=2,
+            s2_size=2,
+        )
+
+    def test_alpha_is_injective_on_states(self, example_machine, example_pair):
+        realization = realize(example_machine, *example_pair)
+        images = {realization.alpha(s) for s in example_machine.states}
+        assert len(images) == example_machine.n_states
+
+    def test_delta_star_cross_structure(self, example_machine, example_pair):
+        """Definition 2: delta*((s1,s2), i) = (delta2(s2,i), delta1(s1,i))."""
+        realization = realize(example_machine, *example_pair)
+        machine = realization.machine
+        for (b1, b2) in machine.states:
+            for symbol in example_machine.inputs:
+                expected = (
+                    realization.delta2[(b2, symbol)],
+                    realization.delta1[(b1, symbol)],
+                )
+                assert machine.delta((b1, b2), symbol) == expected
+
+    def test_factor_tables_render(self, example_machine, example_pair):
+        realization = realize(example_machine, *example_pair)
+        text = realization.factor_tables()
+        assert "delta1" in text and "delta2" in text
+        assert "{1,2}" in text and "{2,3}" in text
+
+
+class TestHypothesisChecks:
+    def test_rejects_non_pair(self, example_machine):
+        states = example_machine.states
+        pi = Partition.from_blocks(states, [("1", "3")])
+        theta = Partition.from_blocks(states, [("2", "4")])
+        with pytest.raises(RealizationError, match="not a partition pair"):
+            realize(example_machine, pi, theta)
+
+    def test_rejects_asymmetric_pair(self, shiftreg):
+        states = shiftreg.states
+        # (identity, one) is a pair but (one, identity) is not.
+        identity = Partition.identity(states)
+        one = Partition.one(states)
+        with pytest.raises(RealizationError, match="symmetric"):
+            realize(shiftreg, identity, one)
+
+    def test_rejects_epsilon_violation(self, example_machine):
+        states = example_machine.states
+        one = Partition.one(states)
+        # (one, one) is always a symmetric pair, but the machine is reduced
+        # so one ∩ one = one is not within epsilon.
+        with pytest.raises(RealizationError, match="epsilon"):
+            realize(example_machine, one, one)
+
+    def test_rejects_wrong_universe(self, example_machine):
+        wrong = Partition.identity(("a", "b", "c", "d"))
+        with pytest.raises(RealizationError, match="universe"):
+            realize(example_machine, wrong, wrong)
+
+    def test_fallback_output_is_validated(self, example_machine, example_pair):
+        with pytest.raises(Exception):
+            realize(example_machine, *example_pair, fallback_output="zzz")
+
+
+class TestTrivialRealization:
+    def test_identity_pair_doubles_machine(self, example_machine):
+        identity = Partition.identity(example_machine.states)
+        realization = realize(example_machine, identity, identity)
+        assert realization.machine.n_states == 16  # 4 x 4
+        check_realization(
+            example_machine, realization.machine, realization.witness
+        )
+
+    def test_shiftreg_planted_pair(self, shiftreg):
+        """The (4,2) factorisation: pi = kernel of (b2,b0), theta = kernel b1."""
+        states = shiftreg.states
+        pi = Partition.from_pairs(
+            states, [(s, t) for s in states for t in states
+                     if (s[0], s[2]) == (t[0], t[2])]
+        )
+        theta = Partition.from_pairs(
+            states, [(s, t) for s in states for t in states if s[1] == t[1]]
+        )
+        assert pi.num_blocks == 4 and theta.num_blocks == 2
+        realization = realize(shiftreg, pi, theta)
+        assert realization.flipflops == 3
+        assert behaviourally_realizes(
+            shiftreg, realization.machine, realization.witness
+        )
+
+
+class TestFallbackOutput:
+    def test_unreachable_product_states_use_fallback(self, shiftreg):
+        states = shiftreg.states
+        pi = Partition.from_pairs(
+            states, [(s, t) for s in states for t in states
+                     if (s[0], s[2]) == (t[0], t[2])]
+        )
+        theta = Partition.from_pairs(
+            states, [(s, t) for s in states for t in states if s[1] == t[1]]
+        )
+        realization = realize(shiftreg, pi, theta, fallback_output="0")
+        # 4 x 2 = 8 product states and 8 original states: alpha is onto, so
+        # no fallback is actually used here; the full product has no holes.
+        images = {realization.alpha(s) for s in states}
+        assert len(images) == 8

@@ -1,0 +1,61 @@
+"""Unit tests for the union-find substrate."""
+
+import pytest
+
+from repro.partitions.unionfind import UnionFind
+
+
+def test_initial_state_is_all_singletons():
+    uf = UnionFind(5)
+    assert uf.n_sets == 5
+    assert uf.labels() == (0, 1, 2, 3, 4)
+    assert len(uf) == 5
+
+
+def test_union_merges_and_counts():
+    uf = UnionFind(4)
+    assert uf.union(0, 1) is True
+    assert uf.n_sets == 3
+    assert uf.same(0, 1)
+    assert not uf.same(0, 2)
+
+
+def test_union_same_set_returns_false():
+    uf = UnionFind(3)
+    uf.union(0, 1)
+    assert uf.union(1, 0) is False
+    assert uf.n_sets == 2
+
+
+def test_transitive_merging():
+    uf = UnionFind(6)
+    uf.add_pairs([(0, 1), (1, 2), (3, 4)])
+    assert uf.same(0, 2)
+    assert uf.same(3, 4)
+    assert not uf.same(2, 3)
+    assert uf.labels() == (0, 0, 0, 1, 1, 2)
+
+
+def test_labels_are_canonical_first_occurrence():
+    uf = UnionFind(4)
+    uf.union(2, 3)
+    assert uf.labels() == (0, 1, 2, 2)
+
+
+def test_zero_size():
+    uf = UnionFind(0)
+    assert uf.labels() == ()
+    assert uf.n_sets == 0
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        UnionFind(-1)
+
+
+def test_large_chain_collapses_to_one_set():
+    uf = UnionFind(100)
+    for index in range(99):
+        uf.union(index, index + 1)
+    assert uf.n_sets == 1
+    assert uf.labels() == (0,) * 100
