@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""End-to-end speed benchmark for the compiled/parallel performance engine.
+
+Measures the two hot paths the engine accelerates, always verifying that
+the optimised results are bit-identical to the reference paths:
+
+* **coverage**: a full ``measure_coverage`` BIST campaign -- seed serial
+  path (interpreted netlist evaluation, no dropping) versus the engine
+  (compiled kernels + exact fault dropping + process fan-out);
+* **ostr**: the Table-1 depth-first OSTR sweep -- ``search_ostr`` reference
+  kernels versus the optimised kernels (identical solutions and stats).
+
+Emits a machine-readable ``BENCH JSON: {...}`` line (and writes
+``benchmarks/results/bench_speed.json``) so speedups are tracked across
+PRs.  ``--smoke`` runs a seconds-scale subset for CI.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_speed.py [--smoke] [--workers N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro import suite  # noqa: E402
+from repro.bist.architectures import (  # noqa: E402
+    build_conventional_bist,
+    build_pipeline,
+)
+from repro.faults.coverage import measure_coverage  # noqa: E402
+from repro.ostr.search import search_ostr  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+HEAVY = ("dk16", "dk512", "s1", "tbk")
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def bench_coverage(name: str, architecture: str, workers: int) -> dict:
+    machine = suite.load(name)
+    if architecture == "pipeline":
+        controller = build_pipeline(search_ostr(machine).realization())
+    else:
+        controller = build_conventional_bist(machine)
+    reference, baseline_s = _timed(
+        lambda: measure_coverage(controller, engine="interpreted")
+    )
+    optimized, engine_s = _timed(
+        lambda: measure_coverage(controller, workers=workers, dropping=True)
+    )
+    return {
+        "bench": f"coverage/{name}/{architecture}",
+        "faults": reference.total,
+        "coverage": round(reference.coverage, 6),
+        "baseline_s": round(baseline_s, 4),
+        "optimized_s": round(engine_s, 4),
+        "speedup": round(baseline_s / engine_s, 2) if engine_s else float("inf"),
+        "workers": workers,
+        "identical": optimized == reference,
+    }
+
+
+def bench_ostr_sweep(names) -> dict:
+    per_machine = {}
+    total_reference = total_fast = 0.0
+    identical = True
+    for name in names:
+        machine = suite.load(name)
+        kwargs = suite.entry(name).search_kwargs
+        reference, reference_s = _timed(
+            lambda: search_ostr(machine, fast=False, **kwargs)
+        )
+        fast, fast_s = _timed(lambda: search_ostr(machine, fast=True, **kwargs))
+        identical = identical and (
+            repr(fast.solution.pi) == repr(reference.solution.pi)
+            and repr(fast.solution.theta) == repr(reference.solution.theta)
+            and fast.stats.investigated == reference.stats.investigated
+            and fast.stats.pruned_subtrees == reference.stats.pruned_subtrees
+            and fast.stats.unique_joins == reference.stats.unique_joins
+        )
+        total_reference += reference_s
+        total_fast += fast_s
+        per_machine[name] = {
+            "reference_s": round(reference_s, 4),
+            "fast_s": round(fast_s, 4),
+        }
+    return {
+        "bench": "ostr/table1-sweep",
+        "machines": per_machine,
+        "baseline_s": round(total_reference, 4),
+        "optimized_s": round(total_fast, 4),
+        "speedup": round(total_reference / total_fast, 2) if total_fast else 1.0,
+        "identical": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="seconds-scale subset for CI"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="engine worker processes"
+    )
+    parser.add_argument("--no-json-file", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        coverage_cases = [("dk27", "conventional"), ("dk27", "pipeline")]
+        sweep_names = [n for n in suite.names() if n not in HEAVY]
+    else:
+        coverage_cases = [
+            ("dk27", "conventional"),
+            ("bbtas", "pipeline"),
+            ("dk14", "pipeline"),
+        ]
+        sweep_names = list(suite.names())
+
+    results = []
+    for name, architecture in coverage_cases:
+        outcome = bench_coverage(name, architecture, args.workers)
+        results.append(outcome)
+        print(
+            f"{outcome['bench']}: {outcome['faults']} faults, "
+            f"{outcome['baseline_s']:.2f}s -> {outcome['optimized_s']:.2f}s "
+            f"(x{outcome['speedup']}, identical={outcome['identical']})"
+        )
+    sweep = bench_ostr_sweep(sweep_names)
+    results.append(sweep)
+    print(
+        f"{sweep['bench']}: {sweep['baseline_s']:.2f}s -> "
+        f"{sweep['optimized_s']:.2f}s (x{sweep['speedup']}, "
+        f"identical={sweep['identical']})"
+    )
+
+    payload = {
+        "suite": "bench_speed",
+        "mode": "smoke" if args.smoke else "full",
+        "results": results,
+    }
+    print("BENCH JSON: " + json.dumps(payload))
+    if not args.no_json_file:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(
+            os.path.join(RESULTS_DIR, "bench_speed.json"), "w", encoding="utf-8"
+        ) as handle:
+            json.dump(payload, handle, indent=2)
+
+    if not all(r["identical"] for r in results):
+        print("FAILED: optimised results diverged from the reference paths")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

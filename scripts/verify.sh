@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 tests plus a smoke run of the speed benchmark
+# (which asserts the optimised engine is bit-identical to the reference
+# paths).  Used by CI and by hand before merging.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== speed benchmark (smoke) =="
+python benchmarks/bench_speed.py --smoke

@@ -1,3 +1,9 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-self-testable-controllers",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    # int.bit_count() in the BIST register hot loops needs CPython >= 3.10.
+    python_requires=">=3.10",
+)

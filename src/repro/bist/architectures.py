@@ -43,6 +43,7 @@ from ..logic.synth import MultiOutputCover, synthesize_table
 from ..netlist import Netlist, cover_to_netlist
 from ..netlist.netlist import Fault
 from ..ostr.theorem1 import PipelineRealization
+from .compaction import LinearCompactor, stream_errors, transpose_words
 from .lfsr import Lfsr
 from .misr import Misr
 
@@ -65,6 +66,51 @@ def _code_to_int(code: str) -> int:
 
 def _int_to_code(value: int, width: int) -> str:
     return "".join("1" if (value >> position) & 1 else "0" for position in range(width))
+
+
+def _linear_session_reference(
+    network, generator_width: int, misr_width: int, cycles: int, seed: int
+) -> Dict[str, object]:
+    """Campaign reference for one PRPG -> block -> MISR session.
+
+    The pattern stream is fault-independent (free-running complete-cycle
+    LFSR), so the whole session is captured as bit-parallel streams: one
+    ``cycles``-bit integer per block input and per block output, plus the
+    GF(2) model of the compacting MISR (see :mod:`repro.faults.engine`).
+    """
+    generator = Lfsr.from_any_seed(generator_width, seed, complete=True)
+    words = []
+    for _ in range(cycles):
+        words.append(generator.state)
+        generator.step()
+    streams = transpose_words(words, generator_width)
+    mask = (1 << cycles) - 1
+    return {
+        "cycles": cycles,
+        "mask": mask,
+        "streams": streams,
+        "ref_out": network.compile().eval_outputs_list(streams, mask),
+        "compactor": LinearCompactor(misr_width),
+    }
+
+
+def _linear_session_detects(network, session: Dict[str, object], fault: Fault) -> bool:
+    """Exact detection verdict for one linear session (with fault dropping).
+
+    One pattern-parallel faulty evaluation yields the session's complete
+    response-error stream; no errors drops the fault immediately, otherwise
+    the final MISR signature difference -- aliasing included -- follows from
+    folding the error stream through the linear compactor.
+    """
+    compiled = network.compile()
+    mask = session["mask"]
+    faulty = compiled.eval_outputs_list(
+        session["streams"], mask, compiled.fault_args(fault, mask)
+    )
+    errors = stream_errors(faulty, session["ref_out"])
+    if not errors:
+        return False
+    return session["compactor"].fold_errors(errors, session["cycles"]) != 0
 
 
 class PlainController:
@@ -201,6 +247,7 @@ class ConventionalBistController:
         fault: Optional[BlockFault] = None,
         cycles: Optional[int] = None,
         seed: int = 1,
+        engine: str = "compiled",
     ) -> Tuple[int, ...]:
         """One-session self-test: T(PRPG) -> C -> R(MISR).
 
@@ -208,28 +255,65 @@ class ConventionalBistController:
         ``FEEDBACK`` faults provably cannot change the signature; they are
         short-circuited here (the session is not even run), which is the
         paper's point about this architecture.
+
+        ``engine="compiled"`` (default) runs the session on the packed
+        single-pattern kernel of the compiled netlist;
+        ``engine="interpreted"`` keeps the original dict-driven loop as the
+        bit-identical reference (property-tested equivalence).
         """
         if fault is not None and fault[0] == "FEEDBACK":
-            return self.fault_free_signatures(cycles=cycles, seed=seed)
+            return self.fault_free_signatures(cycles=cycles, seed=seed, engine=engine)
         network_fault = fault[1] if fault is not None else None
         plain = self.plain
         cycles = self._default_cycles(cycles)
         generator_width = self.width + plain.input_width
         generator = Lfsr.from_any_seed(generator_width, seed, complete=True)
         response_register = Misr(max(4, self.width + plain.output_width))
+        if engine == "interpreted":
+            for _ in range(cycles):
+                inputs = _drive(plain.state_nets, generator.state)
+                inputs.update(_drive(plain.x_nets, generator.state >> self.width))
+                values = plain.network.evaluate_interpreted(
+                    inputs, mask=1, fault=network_fault
+                )
+                response = _collect(values, list(plain.ns_nets) + list(plain.z_nets))
+                response_register.absorb(response)
+                generator.step()
+            return (response_register.signature,)
+        compiled = plain.network.compile()
+        fault_args = compiled.fault_args(network_fault, 1)
+        step = compiled.step
+        absorb = response_register.absorb
         for _ in range(cycles):
-            inputs = _drive(plain.state_nets, generator.state)
-            inputs.update(_drive(plain.x_nets, generator.state >> self.width))
-            values = plain.network.evaluate(inputs, mask=1, fault=network_fault)
-            response = _collect(values, list(plain.ns_nets) + list(plain.z_nets))
-            response_register.absorb(response)
+            # C's inputs are state bits then x bits -- exactly the PRPG word.
+            absorb(step(generator.state, fault_args))
             generator.step()
         return (response_register.signature,)
 
     def fault_free_signatures(
-        self, cycles: Optional[int] = None, seed: int = 1
+        self, cycles: Optional[int] = None, seed: int = 1, **options
     ) -> Tuple[int, ...]:
-        return self.self_test_signatures(fault=None, cycles=cycles, seed=seed)
+        return self.self_test_signatures(fault=None, cycles=cycles, seed=seed, **options)
+
+    # -- campaign fast path (see repro.faults.engine) -------------------------
+
+    def campaign_reference(
+        self, cycles: Optional[int] = None, seed: int = 1, **_options
+    ) -> Dict[str, object]:
+        plain = self.plain
+        return _linear_session_reference(
+            plain.network,
+            self.width + plain.input_width,
+            max(4, self.width + plain.output_width),
+            self._default_cycles(cycles),
+            seed,
+        )
+
+    def campaign_detects(self, bundle: Dict[str, object], block_fault: BlockFault) -> bool:
+        block, fault = block_fault
+        if block != "C":
+            return False  # FEEDBACK lines carry no live data in the session
+        return _linear_session_detects(self.plain.network, bundle, fault)
 
     def _default_cycles(self, cycles: Optional[int]) -> int:
         """Default: one complete generator cycle (exhaustive patterns for C)."""
@@ -315,7 +399,15 @@ class ParallelSelfTestController:
         fault: Optional[BlockFault] = None,
         cycles: Optional[int] = None,
         seed: int = 1,
+        engine: str = "compiled",
     ) -> Tuple[int, ...]:
+        """Signature-as-pattern session.
+
+        The state patterns are the compacting register's own trajectory, so
+        they depend on every faulty response -- no pattern-parallel fast
+        path exists for this architecture (which is the paper's criticism of
+        it); campaigns fall back to this serial loop, compiled by default.
+        """
         network_fault = fault[1] if fault is not None else None
         plain = self.plain
         cycles = self._default_cycles(cycles)
@@ -327,25 +419,43 @@ class ParallelSelfTestController:
             else None
         )
         output_misr = Misr(max(4, plain.output_width))
-        for _ in range(cycles):
-            inputs = _drive(plain.state_nets, register.signature)
-            inputs.update(
-                _drive(
-                    plain.x_nets,
-                    input_register.state if input_register is not None else 0,
+        if engine == "interpreted":
+            for _ in range(cycles):
+                inputs = _drive(plain.state_nets, register.signature)
+                inputs.update(
+                    _drive(
+                        plain.x_nets,
+                        input_register.state if input_register is not None else 0,
+                    )
                 )
+                values = plain.network.evaluate_interpreted(
+                    inputs, mask=1, fault=network_fault
+                )
+                register.absorb(_collect(values, plain.ns_nets))
+                output_misr.absorb(_collect(values, plain.z_nets))
+                if input_register is not None:
+                    input_register.step()
+            return (register.signature, output_misr.signature)
+        compiled = plain.network.compile()
+        fault_args = compiled.fault_args(network_fault, 1)
+        step = compiled.step
+        width = self.width
+        state_mask = (1 << width) - 1
+        for _ in range(cycles):
+            bits = register.signature | (
+                (input_register.state if input_register is not None else 0) << width
             )
-            values = plain.network.evaluate(inputs, mask=1, fault=network_fault)
-            register.absorb(_collect(values, plain.ns_nets))
-            output_misr.absorb(_collect(values, plain.z_nets))
+            packed = step(bits, fault_args)
+            register.absorb(packed & state_mask)
+            output_misr.absorb(packed >> width)
             if input_register is not None:
                 input_register.step()
         return (register.signature, output_misr.signature)
 
     def fault_free_signatures(
-        self, cycles: Optional[int] = None, seed: int = 1
+        self, cycles: Optional[int] = None, seed: int = 1, **options
     ) -> Tuple[int, ...]:
-        return self.self_test_signatures(fault=None, cycles=cycles, seed=seed)
+        return self.self_test_signatures(fault=None, cycles=cycles, seed=seed, **options)
 
     def pattern_statistics(
         self, cycles: Optional[int] = None, seed: int = 1
@@ -364,18 +474,17 @@ class ParallelSelfTestController:
             if plain.input_width
             else None
         )
+        compiled = plain.network.compile()
+        step = compiled.step
+        width = self.width
+        state_mask = (1 << width) - 1
         seen = set()
         for _ in range(cycles):
             seen.add(register.signature)
-            inputs = _drive(plain.state_nets, register.signature)
-            inputs.update(
-                _drive(
-                    plain.x_nets,
-                    input_register.state if input_register is not None else 0,
-                )
+            bits = register.signature | (
+                (input_register.state if input_register is not None else 0) << width
             )
-            values = plain.network.evaluate(inputs, mask=1)
-            register.absorb(_collect(values, plain.ns_nets))
+            register.absorb(step(bits) & state_mask)
             if input_register is not None:
                 input_register.step()
         return (len(seen), 1 << self.width)
@@ -422,6 +531,7 @@ class DoubledController:
         fault: Optional[BlockFault] = None,
         cycles: Optional[int] = None,
         seed: int = 1,
+        engine: str = "compiled",
     ) -> Tuple[int, ...]:
         """Two sessions: each copy is exercised by the other register."""
         cycles = self._default_cycles(cycles)
@@ -430,27 +540,61 @@ class DoubledController:
             block_fault = (
                 fault[1] if fault is not None and fault[0] == block else None
             )
-            signatures.append(self._session(block_fault, cycles, seed + session))
+            signatures.append(
+                self._session(block_fault, cycles, seed + session, engine=engine)
+            )
         return tuple(signatures)
 
-    def _session(self, fault: Optional[Fault], cycles: int, seed: int) -> int:
+    def _session(
+        self, fault: Optional[Fault], cycles: int, seed: int, engine: str = "compiled"
+    ) -> int:
         plain = self.plain
         generator_width = self.width + plain.input_width
         generator = Lfsr.from_any_seed(generator_width, seed, complete=True)
         response_register = Misr(max(4, self.width + plain.output_width))
+        if engine == "interpreted":
+            for _ in range(cycles):
+                inputs = _drive(plain.state_nets, generator.state)
+                inputs.update(_drive(plain.x_nets, generator.state >> self.width))
+                values = plain.network.evaluate_interpreted(inputs, mask=1, fault=fault)
+                response = _collect(values, list(plain.ns_nets) + list(plain.z_nets))
+                response_register.absorb(response)
+                generator.step()
+            return response_register.signature
+        compiled = plain.network.compile()
+        fault_args = compiled.fault_args(fault, 1)
+        step = compiled.step
+        absorb = response_register.absorb
         for _ in range(cycles):
-            inputs = _drive(plain.state_nets, generator.state)
-            inputs.update(_drive(plain.x_nets, generator.state >> self.width))
-            values = plain.network.evaluate(inputs, mask=1, fault=fault)
-            response = _collect(values, list(plain.ns_nets) + list(plain.z_nets))
-            response_register.absorb(response)
+            absorb(step(generator.state, fault_args))
             generator.step()
         return response_register.signature
 
     def fault_free_signatures(
-        self, cycles: Optional[int] = None, seed: int = 1
+        self, cycles: Optional[int] = None, seed: int = 1, **options
     ) -> Tuple[int, ...]:
-        return self.self_test_signatures(fault=None, cycles=cycles, seed=seed)
+        return self.self_test_signatures(fault=None, cycles=cycles, seed=seed, **options)
+
+    # -- campaign fast path (see repro.faults.engine) -------------------------
+
+    def campaign_reference(
+        self, cycles: Optional[int] = None, seed: int = 1, **_options
+    ) -> Dict[str, object]:
+        plain = self.plain
+        cycles = self._default_cycles(cycles)
+        misr_width = max(4, self.width + plain.output_width)
+        generator_width = self.width + plain.input_width
+        return {
+            block: _linear_session_reference(
+                plain.network, generator_width, misr_width, cycles, seed + session
+            )
+            for session, block in enumerate(("C_a", "C_b"))
+        }
+
+    def campaign_detects(self, bundle: Dict[str, object], block_fault: BlockFault) -> bool:
+        block, fault = block_fault
+        # A fault in one copy is invisible to the other copy's session.
+        return _linear_session_detects(self.plain.network, bundle[block], fault)
 
     def _default_cycles(self, cycles: Optional[int]) -> int:
         """Default: one complete generator cycle (exhaustive patterns for C)."""
@@ -583,6 +727,7 @@ class PipelineController:
         cycles: Optional[int] = None,
         seed: int = 1,
         lambda_session: bool = True,
+        engine: str = "compiled",
     ) -> Tuple[int, ...]:
         """Two sessions (Session A: R1 generates / R2 compacts; B: swapped).
 
@@ -601,46 +746,60 @@ class PipelineController:
         cycles = self._default_cycles(cycles)
         block_faults = {fault[0]: fault[1]} if fault is not None else {}
         sig_a = self._session(
-            generator="R1", cycles=cycles, seed=seed, faults=block_faults
+            generator="R1", cycles=cycles, seed=seed, faults=block_faults,
+            engine=engine,
         )
         sig_b = self._session(
-            generator="R2", cycles=cycles, seed=seed + 1, faults=block_faults
+            generator="R2", cycles=cycles, seed=seed + 1, faults=block_faults,
+            engine=engine,
         )
         if not lambda_session:
             return sig_a + sig_b
-        sig_c = self._lambda_session(seed=seed + 2, faults=block_faults)
+        sig_c = self._lambda_session(seed=seed + 2, faults=block_faults, engine=engine)
         return sig_a + sig_b + sig_c
 
-    def _lambda_session(self, seed: int, faults: Dict[str, Fault]) -> Tuple[int]:
+    def _lambda_session(
+        self, seed: int, faults: Dict[str, Fault], engine: str = "compiled"
+    ) -> Tuple[int]:
         """Session C: R1+R2 chained into one PRPG, lambda* exhaustively driven."""
         total_width = self.w1 + self.w2 + self.input_width
         prpg = Lfsr.from_any_seed(total_width, seed, complete=True)
         output_misr = Misr(max(4, self.output_width))
         cycles = min(4096, 2 ** total_width)
-        for _ in range(cycles):
-            r1_value = prpg.state & ((1 << self.w1) - 1)
-            r2_value = (prpg.state >> self.w1) & ((1 << self.w2) - 1)
-            x_value = prpg.state >> (self.w1 + self.w2)
-            lam_inputs = _drive(self.lambda_net.inputs[: self.w1], r1_value)
-            lam_inputs.update(
-                _drive(
-                    self.lambda_net.inputs[self.w1 : self.w1 + self.w2], r2_value
+        if engine == "interpreted":
+            for _ in range(cycles):
+                r1_value = prpg.state & ((1 << self.w1) - 1)
+                r2_value = (prpg.state >> self.w1) & ((1 << self.w2) - 1)
+                x_value = prpg.state >> (self.w1 + self.w2)
+                lam_inputs = _drive(self.lambda_net.inputs[: self.w1], r1_value)
+                lam_inputs.update(
+                    _drive(
+                        self.lambda_net.inputs[self.w1 : self.w1 + self.w2], r2_value
+                    )
                 )
-            )
-            lam_inputs.update(
-                _drive(self.lambda_net.inputs[self.w1 + self.w2 :], x_value)
-            )
-            lam_values = self.lambda_net.evaluate_outputs(
-                lam_inputs, fault=faults.get("LAMBDA")
-            )
-            output_misr.absorb(_collect(lam_values, self.lambda_net.outputs))
+                lam_inputs.update(
+                    _drive(self.lambda_net.inputs[self.w1 + self.w2 :], x_value)
+                )
+                lam_values = self.lambda_net.evaluate_interpreted(
+                    lam_inputs, mask=1, fault=faults.get("LAMBDA")
+                )
+                output_misr.absorb(_collect(lam_values, self.lambda_net.outputs))
+                prpg.step()
+            return (output_misr.signature,)
+        compiled = self.lambda_net.compile()
+        fault_args = compiled.fault_args(faults.get("LAMBDA"), 1)
+        step = compiled.step
+        absorb = output_misr.absorb
+        for _ in range(cycles):
+            # lambda*'s inputs are (r1, r2, x) low-to-high -- the PRPG word.
+            absorb(step(prpg.state, fault_args))
             prpg.step()
         return (output_misr.signature,)
 
     def fault_free_signatures(
-        self, cycles: Optional[int] = None, seed: int = 1
+        self, cycles: Optional[int] = None, seed: int = 1, **options
     ) -> Tuple[int, ...]:
-        return self.self_test_signatures(fault=None, cycles=cycles, seed=seed)
+        return self.self_test_signatures(fault=None, cycles=cycles, seed=seed, **options)
 
     def _session(
         self,
@@ -648,6 +807,7 @@ class PipelineController:
         cycles: int,
         seed: int,
         faults: Dict[str, Fault],
+        engine: str = "compiled",
     ) -> Tuple[int, int]:
         if generator == "R1":
             source_width = self.w1
@@ -674,37 +834,67 @@ class PipelineController:
             source_width + self.input_width, seed, complete=True
         )
         fault_key = "C1" if generator == "R1" else "C2"
-        for _ in range(cycles):
-            register_value = prpg.state & ((1 << source_width) - 1)
-            x_value = prpg.state >> source_width
-            inputs = _drive(block.inputs[:source_width], register_value)
-            inputs.update(_drive(block.inputs[source_width:], x_value))
-            values = block.evaluate_outputs(inputs, fault=faults.get(fault_key))
-            response = _collect(values, block.outputs)
-            misr.absorb(response)
+        if engine == "interpreted":
+            for _ in range(cycles):
+                register_value = prpg.state & ((1 << source_width) - 1)
+                x_value = prpg.state >> source_width
+                inputs = _drive(block.inputs[:source_width], register_value)
+                inputs.update(_drive(block.inputs[source_width:], x_value))
+                values = block.evaluate_interpreted(
+                    inputs, mask=1, fault=faults.get(fault_key)
+                )
+                response = _collect(values, block.outputs)
+                misr.absorb(response)
 
-            # lambda* sees (r1, r2, x); the generator provides one operand,
-            # the compactor's current state the other.
-            if generator == "R1":
+                # lambda* sees (r1, r2, x); the generator provides one operand,
+                # the compactor's current state the other.
+                if generator == "R1":
+                    r1_value, r2_value = register_value, misr.signature
+                else:
+                    r1_value, r2_value = misr.signature, register_value
+                lam_inputs = _drive(self.lambda_net.inputs[: self.w1], r1_value)
+                lam_inputs.update(
+                    _drive(
+                        self.lambda_net.inputs[self.w1 : self.w1 + self.w2], r2_value
+                    )
+                )
+                lam_inputs.update(
+                    _drive(self.lambda_net.inputs[self.w1 + self.w2 :], x_value)
+                )
+                lam_values = self.lambda_net.evaluate_interpreted(
+                    lam_inputs, mask=1, fault=faults.get("LAMBDA")
+                )
+                observed = _collect(lam_values, self.lambda_net.outputs)
+                observed |= response << self.output_width
+                output_misr.absorb(observed)
+
+                prpg.step()
+            return (misr.signature, output_misr.signature)
+
+        block_compiled = block.compile()
+        block_args = block_compiled.fault_args(faults.get(fault_key), 1)
+        block_step = block_compiled.step
+        lambda_compiled = self.lambda_net.compile()
+        lambda_args = lambda_compiled.fault_args(faults.get("LAMBDA"), 1)
+        lambda_step = lambda_compiled.step
+        source_mask = (1 << source_width) - 1
+        w1, w2 = self.w1, self.w2
+        output_width = self.output_width
+        from_r1 = generator == "R1"
+        for _ in range(cycles):
+            state = prpg.state
+            # The block's inputs are its register bits then x -- the PRPG word.
+            response = block_step(state, block_args)
+            misr.absorb(response)
+            register_value = state & source_mask
+            x_value = state >> source_width
+            if from_r1:
                 r1_value, r2_value = register_value, misr.signature
             else:
                 r1_value, r2_value = misr.signature, register_value
-            lam_inputs = _drive(self.lambda_net.inputs[: self.w1], r1_value)
-            lam_inputs.update(
-                _drive(
-                    self.lambda_net.inputs[self.w1 : self.w1 + self.w2], r2_value
-                )
-            )
-            lam_inputs.update(
-                _drive(self.lambda_net.inputs[self.w1 + self.w2 :], x_value)
-            )
-            lam_values = self.lambda_net.evaluate_outputs(
-                lam_inputs, fault=faults.get("LAMBDA")
-            )
-            observed = _collect(lam_values, self.lambda_net.outputs)
-            observed |= response << self.output_width
+            lam_bits = r1_value | (r2_value << w1) | (x_value << (w1 + w2))
+            observed = lambda_step(lam_bits, lambda_args) | (response << output_width)
             output_misr.absorb(observed)
-
             prpg.step()
         return (misr.signature, output_misr.signature)
 
@@ -713,6 +903,153 @@ class PipelineController:
         if cycles is not None:
             return cycles
         return min(4096, 2 ** (max(self.w1, self.w2) + self.input_width))
+
+    # -- campaign fast path (see repro.faults.engine) -------------------------
+
+    def campaign_reference(
+        self,
+        cycles: Optional[int] = None,
+        seed: int = 1,
+        lambda_session: bool = True,
+        **_options,
+    ) -> Dict[str, object]:
+        """Reference streams and signatures for exact fault dropping.
+
+        Each session's pattern and ``lambda*``-input streams are recorded
+        along the fault-free run; a ``C1``/``C2`` fault is screened against
+        its session's block patterns in one bit-parallel evaluation, and
+        ``LAMBDA`` faults resolve entirely through the linear output-MISR
+        difference (their block responses -- hence the in-loop compactor
+        trajectory and the ``lambda*`` input stream -- are fault-free).
+        """
+        cycles = self._default_cycles(cycles)
+        sessions: Dict[str, Dict[str, object]] = {
+            "A": self._session_reference("R1", cycles, seed),
+            "B": self._session_reference("R2", cycles, seed + 1),
+        }
+        if lambda_session:
+            sessions["C"] = self._chained_lambda_reference(seed + 2)
+        return {"sessions": sessions}
+
+    def _session_reference(
+        self, generator: str, cycles: int, seed: int
+    ) -> Dict[str, object]:
+        if generator == "R1":
+            source_width, block, response_width = self.w1, self.c1, self.w2
+        else:
+            source_width, block, response_width = self.w2, self.c2, self.w1
+        misr = Misr(max(1, response_width))
+        output_misr = Misr(max(4, self.output_width + response_width))
+        prpg = Lfsr.from_any_seed(source_width + self.input_width, seed, complete=True)
+        block_step = block.compile().step
+        lambda_step = self.lambda_net.compile().step
+        source_mask = (1 << source_width) - 1
+        w1, w2 = self.w1, self.w2
+        from_r1 = generator == "R1"
+        pattern_words: List[int] = []
+        response_words: List[int] = []
+        lambda_words: List[int] = []
+        lambda_out_words: List[int] = []
+        for _ in range(cycles):
+            state = prpg.state
+            pattern_words.append(state)
+            response = block_step(state)
+            response_words.append(response)
+            misr.absorb(response)
+            register_value = state & source_mask
+            x_value = state >> source_width
+            if from_r1:
+                r1_value, r2_value = register_value, misr.signature
+            else:
+                r1_value, r2_value = misr.signature, register_value
+            lam_bits = r1_value | (r2_value << w1) | (x_value << (w1 + w2))
+            lambda_words.append(lam_bits)
+            lam_out = lambda_step(lam_bits)
+            lambda_out_words.append(lam_out)
+            output_misr.absorb(lam_out | (response << self.output_width))
+            prpg.step()
+        return {
+            "generator": generator,
+            "block": block,
+            "cycles": cycles,
+            "seed": seed,
+            "mask": (1 << cycles) - 1,
+            "streams": transpose_words(pattern_words, source_width + self.input_width),
+            "ref_out": transpose_words(response_words, len(block.outputs)),
+            "lambda_streams": transpose_words(
+                lambda_words, w1 + w2 + self.input_width
+            ),
+            "ref_lambda_out": transpose_words(
+                lambda_out_words, len(self.lambda_net.outputs)
+            ),
+            "out_compactor": LinearCompactor(
+                max(4, self.output_width + response_width)
+            ),
+            "signatures": (misr.signature, output_misr.signature),
+        }
+
+    def _chained_lambda_reference(self, seed: int) -> Dict[str, object]:
+        total_width = self.w1 + self.w2 + self.input_width
+        cycles = min(4096, 2 ** total_width)
+        prpg = Lfsr.from_any_seed(total_width, seed, complete=True)
+        words: List[int] = []
+        for _ in range(cycles):
+            words.append(prpg.state)
+            prpg.step()
+        streams = transpose_words(words, total_width)
+        mask = (1 << cycles) - 1
+        return {
+            "cycles": cycles,
+            "mask": mask,
+            "lambda_streams": streams,
+            "ref_lambda_out": self.lambda_net.compile().eval_outputs_list(
+                streams, mask
+            ),
+            "out_compactor": LinearCompactor(max(4, self.output_width)),
+        }
+
+    def campaign_detects(self, bundle: Dict[str, object], block_fault: BlockFault) -> bool:
+        block, fault = block_fault
+        sessions = bundle["sessions"]
+        if block == "C1":
+            return self._block_session_detects(sessions["A"], fault)
+        if block == "C2":
+            return self._block_session_detects(sessions["B"], fault)
+        # LAMBDA: the observation path is linear in the lambda output errors
+        # in every session, because block responses are fault-free.
+        compiled = self.lambda_net.compile()
+        for session in sessions.values():
+            mask = session["mask"]
+            faulty = compiled.eval_outputs_list(
+                session["lambda_streams"], mask, compiled.fault_args(fault, mask)
+            )
+            errors = stream_errors(faulty, session["ref_lambda_out"])
+            if errors and session["out_compactor"].fold_errors(
+                errors, session["cycles"]
+            ) != 0:
+                return True
+        return False
+
+    def _block_session_detects(self, session: Dict[str, object], fault: Fault) -> bool:
+        block = session["block"]
+        compiled = block.compile()
+        mask = session["mask"]
+        faulty = compiled.eval_outputs_list(
+            session["streams"], mask, compiled.fault_args(fault, mask)
+        )
+        if not stream_errors(faulty, session["ref_out"]):
+            return False  # dropped: the session never excites the fault
+        # A response error perturbs the in-loop compactor and with it the
+        # lambda* input stream, so replay this one session (only) serially
+        # on the compiled kernels for the exact final signatures.
+        fault_key = "C1" if session["generator"] == "R1" else "C2"
+        signatures = self._session(
+            session["generator"],
+            session["cycles"],
+            session["seed"],
+            {fault_key: fault},
+        )
+        return signatures != session["signatures"]
 
 
 def build_pipeline(

@@ -1,0 +1,131 @@
+"""GF(2) linear algebra of MISR signature compaction + stream helpers.
+
+The fault-simulation engine (:mod:`repro.faults.engine`) reasons about a
+self-test session's *signature difference* instead of re-running it: the
+MISR state update ``absorb(data) = L(state) xor data`` is linear over
+GF(2), so the faulty/fault-free difference evolves from the per-cycle
+response errors alone.  This module holds that algebra --
+:class:`LinearCompactor` models ``L`` with binary matrix powers -- plus the
+bit-parallel stream transposition/diffing helpers the engine screens
+faults with.
+
+It lives in the BIST package (next to :class:`~repro.bist.misr.Misr`,
+whose update map it must mirror bit-for-bit via
+:func:`~repro.bist.lfsr.feedback_tap_mask`) so the architecture layer can
+use it without importing the fault-campaign machinery.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .lfsr import feedback_tap_mask
+
+
+class LinearCompactor:
+    """The linear state-update map ``L`` of an ``n``-bit MISR.
+
+    Mirrors :meth:`repro.bist.misr.Misr.absorb` exactly:
+    ``absorb(data) = L(state) xor data`` with
+    ``L(s) = (s >> 1) | (parity(s & taps) << (n - 1))`` -- linear because
+    shift, parity and the disjoint OR all distribute over XOR.  Binary
+    powers of ``L`` (as bit-matrix rows) let the engine jump over error-free
+    stretches of a session in ``O(n log k)`` instead of ``k`` steps.
+    """
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+        self._tap_mask = 1 if width == 1 else feedback_tap_mask(width)
+        # _powers[j] = matrix of L^(2^j); rows r = image of basis vector r.
+        self._powers: List[List[int]] = [
+            [self.step(1 << row) for row in range(width)]
+        ]
+
+    def step(self, state: int) -> int:
+        """One application of ``L`` (the absorb update without the data XOR)."""
+        feedback = (state & self._tap_mask).bit_count() & 1
+        return (state >> 1) | (feedback << (self.width - 1))
+
+    @staticmethod
+    def _apply(matrix: List[int], vector: int) -> int:
+        out = 0
+        while vector:
+            low = vector & -vector
+            out ^= matrix[low.bit_length() - 1]
+            vector ^= low
+        return out
+
+    def advance(self, state: int, count: int) -> int:
+        """``L^count(state)`` via square-and-multiply over the bit matrices."""
+        if state == 0 or count == 0:
+            return state
+        index = 0
+        while count:
+            if index == len(self._powers):
+                previous = self._powers[-1]
+                self._powers.append(
+                    [self._apply(previous, row) for row in previous]
+                )
+            if count & 1:
+                state = self._apply(self._powers[index], state)
+            count >>= 1
+            index += 1
+        return state
+
+    def fold_errors(self, errors: Sequence[Tuple[int, int]], total_cycles: int) -> int:
+        """Final signature difference from a sparse error stream.
+
+        ``errors`` is an ascending list of ``(cycle, error_word)`` pairs; the
+        result equals ``sig_faulty xor sig_good`` after ``total_cycles``
+        absorptions, by linearity of the MISR.
+        """
+        difference = 0
+        next_cycle = 0
+        for cycle, error in errors:
+            difference = self.advance(difference, cycle - next_cycle)
+            difference = self.step(difference) ^ error
+            next_cycle = cycle + 1
+        return self.advance(difference, total_cycles - next_cycle)
+
+
+def transpose_words(words: Sequence[int], width: int) -> List[int]:
+    """Cycle-major packed words -> bit-position-major streams.
+
+    ``result[j]`` has bit ``t`` equal to bit ``j`` of ``words[t]`` -- the
+    shape the compiled evaluator wants for whole-session bit-parallel
+    evaluation (one stream per primary input).
+    """
+    streams = [0] * width
+    for cycle, word in enumerate(words):
+        position = 1 << cycle
+        while word:
+            low = word & -word
+            streams[low.bit_length() - 1] |= position
+            word ^= low
+    return streams
+
+
+def stream_errors(
+    faulty: Sequence[int], reference: Sequence[int]
+) -> List[Tuple[int, int]]:
+    """Sparse ``(cycle, error_word)`` stream from per-output packed streams.
+
+    ``faulty``/``reference`` hold one ``T``-bit integer per output line (bit
+    ``t`` = value in cycle ``t``); the error word of a cycle packs the
+    differing lines back into line order.  Returns an ascending list that is
+    empty exactly when the two streams agree everywhere.
+    """
+    diffs = [f ^ r for f, r in zip(faulty, reference)]
+    union = 0
+    for diff in diffs:
+        union |= diff
+    errors: List[Tuple[int, int]] = []
+    while union:
+        low = union & -union
+        cycle = low.bit_length() - 1
+        union ^= low
+        word = 0
+        for line, diff in enumerate(diffs):
+            word |= ((diff >> cycle) & 1) << line
+        errors.append((cycle, word))
+    return errors

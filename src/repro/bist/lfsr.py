@@ -54,6 +54,22 @@ PRIMITIVE_TAPS: Dict[int, Tuple[int, ...]] = {
 }
 
 
+def feedback_tap_mask(width: int) -> int:
+    """Tap mask of the degree-``width`` primitive polynomial.
+
+    Bit ``width - tap`` is set for every tap; this is the single source of
+    the mask layout shared by :class:`Lfsr`, :class:`~repro.bist.misr.Misr`
+    and the campaign engine's linear-compactor model -- they must agree
+    bit-for-bit for signature-difference compaction to be exact.
+    """
+    if width not in PRIMITIVE_TAPS:
+        raise BistError(f"no primitive polynomial recorded for width {width}")
+    mask = 0
+    for tap in PRIMITIVE_TAPS[width]:
+        mask |= 1 << (width - tap)
+    return mask
+
+
 class Lfsr:
     """A maximal-length Fibonacci LFSR of ``width`` bits.
 
@@ -82,9 +98,7 @@ class Lfsr:
         if width == 1:
             self._tap_mask = 0  # toggle behaviour, see step()
         else:
-            self._tap_mask = 0
-            for tap in PRIMITIVE_TAPS[width]:
-                self._tap_mask |= 1 << (self.width - tap)
+            self._tap_mask = feedback_tap_mask(width)
 
     @classmethod
     def from_any_seed(cls, width: int, seed: int, complete: bool = False) -> "Lfsr":
@@ -109,7 +123,7 @@ class Lfsr:
         if self.width == 1:
             self.state ^= 1
             return self.state
-        feedback = bin(self.state & self._tap_mask).count("1") & 1
+        feedback = (self.state & self._tap_mask).bit_count() & 1
         if self.complete and (self.state >> 1) == 0:
             # upper width-1 stages zero: invert the feedback to splice the
             # all-zero state into the cycle (de Bruijn modification).

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Sequence, Tuple
 
 from ..exceptions import BistError
-from .lfsr import PRIMITIVE_TAPS
+from .lfsr import feedback_tap_mask
 
 
 class Misr:
@@ -25,14 +25,7 @@ class Misr:
             raise BistError(f"seed must be a {width}-bit value, got {seed}")
         self.width = width
         self.state = seed
-        if width == 1:
-            self._tap_mask = 1
-        else:
-            if width not in PRIMITIVE_TAPS:
-                raise BistError(f"no primitive polynomial recorded for width {width}")
-            self._tap_mask = 0
-            for tap in PRIMITIVE_TAPS[width]:
-                self._tap_mask |= 1 << (self.width - tap)
+        self._tap_mask = 1 if width == 1 else feedback_tap_mask(width)
 
     def absorb(self, data: int) -> int:
         """Clock the register once with ``data`` on the parallel inputs."""
@@ -40,7 +33,7 @@ class Misr:
             raise BistError(
                 f"data {data} does not fit the {self.width}-bit MISR"
             )
-        feedback = bin(self.state & self._tap_mask).count("1") & 1
+        feedback = (self.state & self._tap_mask).bit_count() & 1
         shifted = (self.state >> 1) | (feedback << (self.width - 1))
         self.state = shifted ^ data
         return self.state

@@ -85,7 +85,11 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     if args.time_limit is not None:
         kwargs["time_limit"] = args.time_limit
     result = search_ostr(
-        machine, policy=args.policy, basis_order=args.basis_order, **kwargs
+        machine,
+        policy=args.policy,
+        basis_order=args.basis_order,
+        fast=not args.reference,
+        **kwargs,
     )
     print(result.summary())
     solution = result.solution
@@ -122,7 +126,12 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
     machine = _load_machine(args.machine)
     print(
         experiments.format_coverage(
-            experiments.run_coverage(machine, cycles=args.cycles)
+            experiments.run_coverage(
+                machine,
+                cycles=args.cycles,
+                workers=args.workers,
+                dropping=not args.reference,
+            )
         )
     )
     return 0
@@ -247,6 +256,11 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--node-limit", type=int, default=None)
     synth.add_argument("--time-limit", type=float, default=None)
     synth.add_argument(
+        "--reference",
+        action="store_true",
+        help="use the unoptimised reference kernels (identical results)",
+    )
+    synth.add_argument(
         "-o", "--output", default=None, help="write the realization as KISS2"
     )
     synth.set_defaults(handler=_cmd_synth)
@@ -266,6 +280,17 @@ def build_parser() -> argparse.ArgumentParser:
     coverage = commands.add_parser("coverage", help="self-test fault coverage")
     coverage.add_argument("machine", help="suite name or KISS2 file path")
     coverage.add_argument("--cycles", type=int, default=None)
+    coverage.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="fan the fault universe out over N processes",
+    )
+    coverage.add_argument(
+        "--reference",
+        action="store_true",
+        help="serial oracle without fault dropping (identical report, slower)",
+    )
     coverage.set_defaults(handler=_cmd_coverage)
 
     commands.add_parser(

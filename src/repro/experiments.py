@@ -266,8 +266,15 @@ def run_coverage(
     machine: MealyMachine,
     cycles: Optional[int] = None,
     method: str = "auto",
+    workers: int = 0,
+    dropping: bool = False,
 ) -> List[CoverageRow]:
-    """Measure self-test stuck-at coverage of Figures 2-4 on one machine."""
+    """Measure self-test stuck-at coverage of Figures 2-4 on one machine.
+
+    ``workers``/``dropping`` select the campaign engine of
+    :mod:`repro.faults.engine`; the reports are bit-identical to the serial
+    oracle either way, so these are pure wall-clock knobs.
+    """
     result = search_ostr(machine)
     realization = result.realization()
     parallel = build_parallel_self_test(machine, method=method)
@@ -282,7 +289,9 @@ def run_coverage(
         (doubled, "doubled (Fig.3)"),
         (pipeline, "pipeline (Fig.4)"),
     ):
-        report = measure_coverage(controller, cycles=cycles)
+        report = measure_coverage(
+            controller, cycles=cycles, workers=workers, dropping=dropping
+        )
         redundant = _redundant_fault_count(controller)
         detectable = report.total - redundant
         structurally_missed = (

@@ -9,8 +9,11 @@ from .simulator import (
     simulate_patterns,
 )
 from .coverage import CoverageReport, measure_coverage
+from .engine import LinearCompactor, run_campaign
 
 __all__ = [
+    "LinearCompactor",
+    "run_campaign",
     "stem_faults",
     "branch_faults",
     "all_faults",

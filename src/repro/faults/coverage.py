@@ -52,14 +52,34 @@ def measure_coverage(
     controller,
     cycles: Optional[int] = None,
     seed: int = 1,
+    workers: int = 0,
+    dropping: bool = False,
     **session_options,
 ) -> CoverageReport:
-    """Serial fault simulation of a controller's complete self-test.
+    """Fault simulation of a controller's complete self-test.
+
+    With the default ``workers=0, dropping=False`` this is the serial
+    reference oracle: one full self-test per fault, final signature tuples
+    compared.  ``workers=N`` fans the fault universe out over ``N``
+    processes and ``dropping=True`` enables the exact fault-dropping fast
+    paths -- both via :mod:`repro.faults.engine`, which guarantees a
+    bit-identical :class:`CoverageReport` either way.
 
     Extra keyword options (e.g. ``lambda_session=False`` for the strictly
     two-session pipeline flow) are forwarded to the controller's
     ``self_test_signatures``.
     """
+    if workers > 1 or dropping:
+        from .engine import run_campaign
+
+        return run_campaign(
+            controller,
+            cycles=cycles,
+            seed=seed,
+            workers=workers,
+            dropping=dropping,
+            **session_options,
+        )
     reference = controller.self_test_signatures(
         fault=None, cycles=cycles, seed=seed, **session_options
     )

@@ -1,0 +1,190 @@
+"""High-throughput fault-simulation campaigns (exact fault dropping + fan-out).
+
+This engine accelerates :func:`repro.faults.coverage.measure_coverage`
+campaigns by orders of magnitude while returning **bit-identical**
+:class:`~repro.faults.coverage.CoverageReport` objects.  The serial loop in
+:mod:`repro.faults.coverage` remains the reference oracle; everything here
+is an exactness-preserving reformulation of it.
+
+Fault dropping (the ``dropping=True`` path)
+-------------------------------------------
+
+Classic fault dropping stops a faulty simulation at the first observed
+divergence.  Done naively on signature BIST that is *wrong*: a fault whose
+response stream diverges mid-session can still compact to the fault-free
+signature (MISR aliasing), and the oracle counts such faults as *missed*.
+Measured on this code base, 1-7% of the fault universe aliases that way, so
+the engine drops faults without ever approximating the final signature:
+
+1. **Session relevance.**  A self-test session's signature depends only on
+   the blocks it exercises; faults in other blocks are skipped outright
+   (e.g. a ``C2`` fault cannot disturb the pipeline's session A).
+2. **Pattern-parallel screening.**  Where a session's block-under-test sees
+   patterns that do not depend on compactor state (true for the
+   conventional, doubled and pipeline sessions, whose patterns come from a
+   free-running PRPG), the whole session's response stream is computed in
+   *one* bit-parallel evaluation of the compiled netlist -- bit ``t`` of
+   every net is its value in cycle ``t``.  A fault with no response error
+   in any cycle provably leaves the session signature untouched and is
+   dropped after that single evaluation.
+3. **Linear signature-difference compaction.**  MISR state update is linear
+   over GF(2): ``state' = L(state) xor data`` with ``L`` the shift-and-
+   feedback map.  The faulty/fault-free signature difference therefore
+   evolves as ``d' = L(d) xor e`` where ``e`` is the per-cycle response
+   error from step 2, so the *final* signature comparison -- including any
+   aliasing -- is reproduced exactly from the error stream with cheap
+   integer arithmetic (:class:`LinearCompactor`), never re-running the
+   session serially.  Zero-error stretches are jumped over with precomputed
+   binary powers of ``L``.
+4. Sessions that feed compactor state back into the logic under test (the
+   pipeline's ``lambda*`` observation path under a ``C1``/``C2`` fault, and
+   the Figure-1 parallel self-test entirely) fall back to an exact serial
+   replay -- of the affected session only -- on the compiled single-pattern
+   kernels of :mod:`repro.netlist.compiled`.
+
+Determinism guarantee
+---------------------
+
+Campaign results do not depend on ``workers`` or ``dropping``: the fault
+universe is enumerated in the controller's canonical order, work is chunked
+by fault index, and the merge reassembles per-fault outcomes in that same
+order before building the report, so ``CoverageReport`` equality holds
+field-for-field against the serial oracle (tests/test_engine.py asserts
+this across all architectures).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+from ..bist.compaction import LinearCompactor, stream_errors, transpose_words
+from .coverage import BlockFault, CoverageReport
+
+__all__ = [
+    "LinearCompactor",
+    "transpose_words",
+    "stream_errors",
+    "run_campaign",
+]
+
+
+# ---------------------------------------------------------------------------
+# campaign runner
+# ---------------------------------------------------------------------------
+
+
+def _fault_outcome(controller, bundle, reference, block_fault, cycles, seed, options):
+    if bundle is not None:
+        return controller.campaign_detects(bundle, block_fault)
+    signatures = controller.self_test_signatures(
+        fault=block_fault, cycles=cycles, seed=seed, **options
+    )
+    return signatures != reference
+
+
+# Worker-process state (set once per process by the pool initializer).
+_WORKER: Dict[str, object] = {}
+
+
+def _worker_init(controller, cycles, seed, dropping, options) -> None:
+    _WORKER["controller"] = controller
+    _WORKER["cycles"] = cycles
+    _WORKER["seed"] = seed
+    _WORKER["options"] = options
+    _WORKER["reference"] = controller.self_test_signatures(
+        fault=None, cycles=cycles, seed=seed, **options
+    )
+    bundle = None
+    if dropping and hasattr(controller, "campaign_reference"):
+        bundle = controller.campaign_reference(cycles=cycles, seed=seed, **options)
+    _WORKER["bundle"] = bundle
+
+
+def _worker_chunk(chunk: List[BlockFault]) -> List[bool]:
+    controller = _WORKER["controller"]
+    return [
+        _fault_outcome(
+            controller,
+            _WORKER["bundle"],
+            _WORKER["reference"],
+            block_fault,
+            _WORKER["cycles"],
+            _WORKER["seed"],
+            _WORKER["options"],
+        )
+        for block_fault in chunk
+    ]
+
+
+def run_campaign(
+    controller,
+    cycles: Optional[int] = None,
+    seed: int = 1,
+    workers: int = 0,
+    dropping: bool = True,
+    faults: Optional[Sequence[BlockFault]] = None,
+    **session_options,
+) -> CoverageReport:
+    """Fault-simulation campaign with exact dropping and process fan-out.
+
+    Semantics are identical to the serial
+    :func:`repro.faults.coverage.measure_coverage` oracle (see the module
+    docstring for why that holds even under fault dropping); only the
+    wall-clock changes.  ``workers <= 1`` runs in-process; larger values
+    fan the fault universe out over a ``ProcessPoolExecutor`` in
+    deterministic index-ordered chunks.
+    """
+    universe: List[BlockFault] = (
+        list(controller.fault_universe()) if faults is None else list(faults)
+    )
+    options = dict(session_options)
+    if workers and workers > 1 and len(universe) > 1:
+        chunk_size = max(1, (len(universe) + workers * 4 - 1) // (workers * 4))
+        chunks = [
+            universe[start : start + chunk_size]
+            for start in range(0, len(universe), chunk_size)
+        ]
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(chunks)),
+            initializer=_worker_init,
+            initargs=(controller, cycles, seed, dropping, options),
+        ) as pool:
+            hit_chunks = list(pool.map(_worker_chunk, chunks))
+        hits = [hit for chunk in hit_chunks for hit in chunk]
+    else:
+        reference = controller.self_test_signatures(
+            fault=None, cycles=cycles, seed=seed, **options
+        )
+        bundle = None
+        if dropping and hasattr(controller, "campaign_reference"):
+            bundle = controller.campaign_reference(
+                cycles=cycles, seed=seed, **options
+            )
+        hits = [
+            _fault_outcome(
+                controller, bundle, reference, block_fault, cycles, seed, options
+            )
+            for block_fault in universe
+        ]
+
+    undetected: List[BlockFault] = []
+    by_block: Dict[str, List[int]] = {}
+    detected = 0
+    for block_fault, hit in zip(universe, hits):
+        block = block_fault[0]
+        counts = by_block.setdefault(block, [0, 0])
+        counts[1] += 1
+        if hit:
+            detected += 1
+            counts[0] += 1
+        else:
+            undetected.append(block_fault)
+    return CoverageReport(
+        architecture=type(controller).__name__,
+        total=len(universe),
+        detected=detected,
+        undetected=undetected,
+        by_block={block: (c[0], c[1]) for block, c in by_block.items()},
+        cycles=cycles,
+    )

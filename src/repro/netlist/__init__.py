@@ -1,6 +1,7 @@
 """Gate-level netlist substrate: cells, evaluation, construction, metrics."""
 
 from .netlist import Fault, Gate, GateKind, Netlist
+from .compiled import CompiledNetlist
 from .build import cover_to_netlist
 from .export import (
     controller_to_verilog,
@@ -14,6 +15,7 @@ __all__ = [
     "Gate",
     "Fault",
     "Netlist",
+    "CompiledNetlist",
     "cover_to_netlist",
     "netlist_to_verilog",
     "netlist_to_blif",

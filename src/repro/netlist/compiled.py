@@ -1,0 +1,244 @@
+"""Compiled netlist evaluation: exec-generated slot-indexed evaluators.
+
+The interpreted :meth:`Netlist.evaluate` walks the gate list with dict-keyed
+net values; that is the inner loop of every fault-simulation campaign and of
+every BIST self-test session, so it dominates end-to-end runtime.  This
+module compiles a frozen netlist once into straight-line Python source
+(``exec``-ed, like ``namedtuple`` or ``dataclasses`` do) in which nets are
+local variables indexed by *slot* -- primary inputs first, then gate outputs
+in topological order -- and evaluates with zero dict traffic.
+
+Four specialisations are generated from the same gate list:
+
+``good_all(I, mask)``
+    Fault-free bit-parallel evaluation; returns the value of every net as a
+    list in slot order.
+``fault_all(I, mask, fs, stuck, fg, fp)``
+    The same with the per-fault override hook: ``fs`` pins net slot ``fs``
+    to ``stuck`` (stem fault), ``fg``/``fp`` re-evaluates gate ``fg`` with
+    input pin ``fp`` pinned (branch fault).  Sentinel ``-1`` disables either
+    hook, so a single generated function serves the whole fault universe.
+``step_good(bits)`` / ``step_fault(bits, fs, stuck, fg, fp)``
+    Single-pattern (``mask == 1``) kernels for sequential BIST sessions:
+    primary inputs arrive packed in one integer (bit ``i`` = input ``i``)
+    and the marked outputs come back packed the same way, which is exactly
+    the register-transfer shape of the session loops in
+    :mod:`repro.bist.architectures`.
+
+Compilation is cached per frozen netlist (see :meth:`Netlist.compile`); the
+compiled object is deliberately excluded from pickling so controllers can be
+shipped to worker processes and recompile lazily on the other side.
+
+Equivalence with the interpreted evaluator -- all nets, stem and branch
+faults, arbitrary masks -- is enforced by property tests
+(``tests/test_compiled.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import NetlistError
+from .netlist import Fault, GateKind, Netlist
+
+#: fault-hook sentinel: no stem override, no branch override.
+NO_FAULT = (-1, 0, -1, -1)
+
+
+def _operand_expr(kind: GateKind, operands: Sequence[str], mask_expr: str) -> str:
+    """Straight-line expression for one gate over named operand variables."""
+    if kind is GateKind.AND:
+        return " & ".join(operands)
+    if kind is GateKind.OR:
+        return " | ".join(operands)
+    if kind is GateKind.XOR:
+        return " ^ ".join(operands)
+    if kind is GateKind.NOT:
+        return f"(~{operands[0]}) & {mask_expr}"
+    if kind is GateKind.BUF:
+        return operands[0]
+    if kind is GateKind.CONST0:
+        return "0"
+    return mask_expr  # CONST1
+
+
+def _make_refault(kinds: Tuple[GateKind, ...]):
+    """Generic re-evaluation of one gate with a pinned input (branch fault).
+
+    Runs at most once per evaluation (the single fault matches a single
+    gate), so it trades speed for sharing one closure across all gates.
+    """
+
+    def _refault(gate_index: int, pin, stuck: int, mask: int, ops: tuple) -> int:
+        operands = list(ops)
+        operands[pin] = stuck
+        kind = kinds[gate_index]
+        if kind is GateKind.AND:
+            result = mask
+            for operand in operands:
+                result &= operand
+            return result
+        if kind is GateKind.OR:
+            result = 0
+            for operand in operands:
+                result |= operand
+            return result
+        if kind is GateKind.XOR:
+            result = 0
+            for operand in operands:
+                result ^= operand
+            return result
+        if kind is GateKind.NOT:
+            return ~operands[0] & mask
+        return operands[0]  # BUF (CONST gates have no pins)
+
+    return _refault
+
+
+class CompiledNetlist:
+    """Slot-indexed compiled evaluators for one frozen :class:`Netlist`."""
+
+    __slots__ = (
+        "name",
+        "net_names",
+        "index",
+        "n_inputs",
+        "input_names",
+        "output_names",
+        "output_slots",
+        "source",
+        "_good_all",
+        "_fault_all",
+        "_step_good",
+        "_step_fault",
+    )
+
+    def __init__(self, netlist: Netlist) -> None:
+        self.name = netlist.name
+        inputs = tuple(netlist.inputs)
+        gates = tuple(netlist.gates)
+        outputs = tuple(netlist.outputs)
+        self.input_names = inputs
+        self.output_names = outputs
+        self.net_names: Tuple[str, ...] = inputs + tuple(g.output for g in gates)
+        self.index: Dict[str, int] = {
+            net: slot for slot, net in enumerate(self.net_names)
+        }
+        self.n_inputs = len(inputs)
+        self.output_slots: Tuple[int, ...] = tuple(
+            self.index[net] for net in outputs
+        )
+        self.source = self._generate(inputs, gates)
+        namespace = {"_refault": _make_refault(tuple(g.kind for g in gates))}
+        exec(compile(self.source, f"<compiled netlist {self.name!r}>", "exec"), namespace)
+        self._good_all = namespace["good_all"]
+        self._fault_all = namespace["fault_all"]
+        self._step_good = namespace["step_good"]
+        self._step_fault = namespace["step_fault"]
+
+    # -- code generation -----------------------------------------------------
+
+    def _generate(self, inputs, gates) -> str:
+        n_inputs = len(inputs)
+        all_slots = ", ".join(f"v{slot}" for slot in range(len(self.net_names)))
+        return_all = f"    return [{all_slots}]" if self.net_names else "    return []"
+        packed_out = " | ".join(
+            f"v{slot}" if position == 0 else f"(v{slot} << {position})"
+            for position, slot in enumerate(self.output_slots)
+        )
+        return_packed = f"    return {packed_out}" if self.output_slots else "    return 0"
+
+        good_all = ["def good_all(I, mask):"]
+        fault_all = ["def fault_all(I, mask, fs, stuck, fg, fp):"]
+        step_good = ["def step_good(bits):"]
+        step_fault = ["def step_fault(bits, fs, stuck, fg, fp):"]
+        for slot in range(n_inputs):
+            good_all.append(f"    v{slot} = I[{slot}] & mask")
+            fault_all.append(f"    v{slot} = I[{slot}] & mask")
+            fault_all.append(f"    if fs == {slot}: v{slot} = stuck")
+            unpack = "bits & 1" if slot == 0 else f"(bits >> {slot}) & 1"
+            step_good.append(f"    v{slot} = {unpack}")
+            step_fault.append(f"    v{slot} = {unpack}")
+            step_fault.append(f"    if fs == {slot}: v{slot} = stuck")
+        for gate_index, gate in enumerate(gates):
+            slot = n_inputs + gate_index
+            operands = tuple(f"v{self.index[net]}" for net in gate.inputs)
+            expr = _operand_expr(gate.kind, operands, "mask")
+            step_expr = (
+                f"v{self.index[gate.inputs[0]]} ^ 1"
+                if gate.kind is GateKind.NOT
+                else _operand_expr(gate.kind, operands, "1")
+            )
+            good_all.append(f"    v{slot} = {expr}")
+            step_good.append(f"    v{slot} = {step_expr}")
+            fault_all.append(f"    v{slot} = {expr}")
+            step_fault.append(f"    v{slot} = {step_expr}")
+            if gate.inputs:
+                hook = (
+                    f"    if fg == {gate_index}: "
+                    f"v{slot} = _refault({gate_index}, fp, stuck, {{m}}, ({', '.join(operands)},))"
+                )
+                fault_all.append(hook.format(m="mask"))
+                step_fault.append(hook.format(m="1"))
+            fault_all.append(f"    if fs == {slot}: v{slot} = stuck")
+            step_fault.append(f"    if fs == {slot}: v{slot} = stuck")
+        good_all.append(return_all)
+        fault_all.append(return_all)
+        step_good.append(return_packed)
+        step_fault.append(return_packed)
+        return "\n".join(good_all + fault_all + step_good + step_fault) + "\n"
+
+    # -- fault plumbing ------------------------------------------------------
+
+    def fault_args(self, fault: Optional[Fault], mask: int = 1) -> Tuple[int, int, int, int]:
+        """Translate a :class:`Fault` into the ``(fs, stuck, fg, fp)`` hook.
+
+        A stem fault on a net unknown to this netlist degrades to a no-op,
+        matching the interpreted evaluator (architecture-level pseudo-nets
+        such as the Figure-2 feedback lines rely on this).
+        """
+        if fault is None:
+            return NO_FAULT
+        stuck = mask if fault.stuck_at else 0
+        if fault.is_stem:
+            return (self.index.get(fault.net, -1), stuck, -1, -1)
+        return (-1, stuck, fault.gate_index, fault.pin)
+
+    def pack_inputs(self, input_values: Dict[str, int]) -> List[int]:
+        """Dict-keyed input values -> slot-ordered list (with presence check)."""
+        values = []
+        for net in self.input_names:
+            try:
+                values.append(input_values[net])
+            except KeyError:
+                raise NetlistError(f"missing value for primary input {net!r}") from None
+        return values
+
+    # -- evaluation ----------------------------------------------------------
+
+    def eval_list(
+        self,
+        packed_inputs: Sequence[int],
+        mask: int,
+        fault_args: Tuple[int, int, int, int] = NO_FAULT,
+    ) -> List[int]:
+        """All net values (slot order) for slot-ordered packed inputs."""
+        if fault_args == NO_FAULT:
+            return self._good_all(packed_inputs, mask)
+        return self._fault_all(packed_inputs, mask, *fault_args)
+
+    def eval_outputs_list(
+        self,
+        packed_inputs: Sequence[int],
+        mask: int,
+        fault_args: Tuple[int, int, int, int] = NO_FAULT,
+    ) -> List[int]:
+        """Marked-output values only, in output order."""
+        values = self.eval_list(packed_inputs, mask, fault_args)
+        return [values[slot] for slot in self.output_slots]
+
+    def step(self, bits: int, fault_args: Tuple[int, int, int, int] = NO_FAULT) -> int:
+        """Single-pattern kernel: packed input bits -> packed output bits."""
+        if fault_args == NO_FAULT:
+            return self._step_good(bits)
+        return self._step_fault(bits, *fault_args)

@@ -97,6 +97,11 @@ class Netlist:
         self._gates: List[Gate] = []
         self._driven: Dict[str, int] = {}  # net -> driving gate index
         self._frozen = False
+        # Structure caches, valid once frozen (hot loops read these).
+        self._inputs_cache: Optional[Tuple[str, ...]] = None
+        self._outputs_cache: Optional[Tuple[str, ...]] = None
+        self._gates_cache: Optional[Tuple[Gate, ...]] = None
+        self._compiled = None  # lazily built CompiledNetlist
 
     # -- construction -------------------------------------------------------
 
@@ -136,7 +141,12 @@ class Netlist:
         self._outputs.append(net)
 
     def freeze(self) -> "Netlist":
+        """Seal the structure; caches the hot-loop tuples and enables
+        compiled evaluation (built lazily on first use, see :meth:`compile`)."""
         self._frozen = True
+        self._inputs_cache = tuple(self._inputs)
+        self._outputs_cache = tuple(self._outputs)
+        self._gates_cache = tuple(self._gates)
         return self
 
     def _check_mutable(self) -> None:
@@ -147,14 +157,20 @@ class Netlist:
 
     @property
     def inputs(self) -> Tuple[str, ...]:
+        if self._inputs_cache is not None:
+            return self._inputs_cache
         return tuple(self._inputs)
 
     @property
     def outputs(self) -> Tuple[str, ...]:
+        if self._outputs_cache is not None:
+            return self._outputs_cache
         return tuple(self._outputs)
 
     @property
     def gates(self) -> Tuple[Gate, ...]:
+        if self._gates_cache is not None:
+            return self._gates_cache
         return tuple(self._gates)
 
     @property
@@ -184,6 +200,35 @@ class Netlist:
         """Total gate input pins (a technology-independent area proxy)."""
         return sum(len(gate.inputs) for gate in self._gates)
 
+    # -- compiled evaluation ---------------------------------------------------
+
+    def compile(self):
+        """The :class:`~repro.netlist.compiled.CompiledNetlist` of this netlist.
+
+        Only frozen netlists can be compiled (mutation would invalidate the
+        generated code); the result is cached, so repeated calls are free.
+        """
+        if not self._frozen:
+            raise NetlistError(
+                f"netlist {self.name!r} must be frozen before compiling"
+            )
+        if self._compiled is None:
+            from .compiled import CompiledNetlist
+
+            self._compiled = CompiledNetlist(self)
+        return self._compiled
+
+    @property
+    def compiled(self):
+        """Compiled evaluators when available (frozen netlists), else ``None``."""
+        return self.compile() if self._frozen else None
+
+    def __getstate__(self):
+        # Generated functions are not picklable; workers recompile lazily.
+        state = self.__dict__.copy()
+        state["_compiled"] = None
+        return state
+
     # -- evaluation ------------------------------------------------------------
 
     def evaluate(
@@ -198,7 +243,28 @@ class Netlist:
         bits; ``mask`` must have a 1 for every pattern position in use (it
         implements bounded negation).  ``fault`` optionally pins one stem or
         branch to a constant.
+
+        Frozen netlists evaluate through the compiled slot-indexed kernels
+        of :mod:`repro.netlist.compiled`; :meth:`evaluate_interpreted` keeps
+        the original walker available as the equivalence oracle.
         """
+        if self._frozen:
+            compiled = self.compile()
+            values_list = compiled.eval_list(
+                compiled.pack_inputs(input_values),
+                mask,
+                compiled.fault_args(fault, mask),
+            )
+            return dict(zip(compiled.net_names, values_list))
+        return self.evaluate_interpreted(input_values, mask=mask, fault=fault)
+
+    def evaluate_interpreted(
+        self,
+        input_values: Dict[str, int],
+        mask: int = 1,
+        fault: Optional[Fault] = None,
+    ) -> Dict[str, int]:
+        """Reference dict-keyed evaluation (the original interpreted walker)."""
         values: Dict[str, int] = {}
         stuck = 0
         if fault is not None:
@@ -251,7 +317,15 @@ class Netlist:
         fault: Optional[Fault] = None,
     ) -> Dict[str, int]:
         """Like :meth:`evaluate` but returns only the marked outputs."""
-        values = self.evaluate(input_values, mask=mask, fault=fault)
+        if self._frozen:
+            compiled = self.compile()
+            outputs = compiled.eval_outputs_list(
+                compiled.pack_inputs(input_values),
+                mask,
+                compiled.fault_args(fault, mask),
+            )
+            return dict(zip(compiled.output_names, outputs))
+        values = self.evaluate_interpreted(input_values, mask=mask, fault=fault)
         return {net: values[net] for net in self._outputs}
 
     def __repr__(self) -> str:

@@ -1,0 +1,146 @@
+"""Compiled netlist evaluation must match the interpreted reference exactly.
+
+The compiled evaluators (exec-generated, slot-indexed) replace the
+interpreted walker in every hot loop, so these property tests pin the full
+contract: all nets, arbitrary masks, stem and branch faults, the packed
+single-pattern ``step`` kernel, and pickling (workers recompile lazily).
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import NetlistError
+from repro.netlist import Fault, GateKind, Netlist
+
+_KINDS = (
+    GateKind.AND,
+    GateKind.OR,
+    GateKind.XOR,
+    GateKind.NOT,
+    GateKind.BUF,
+    GateKind.CONST0,
+    GateKind.CONST1,
+)
+
+
+@st.composite
+def random_netlists(draw, max_inputs=4, max_gates=10):
+    n_inputs = draw(st.integers(min_value=1, max_value=max_inputs))
+    n_gates = draw(st.integers(min_value=1, max_value=max_gates))
+    netlist = Netlist("hyp-compiled")
+    nets = []
+    for position in range(n_inputs):
+        nets.append(netlist.add_input(f"i{position}"))
+    for position in range(n_gates):
+        kind = draw(st.sampled_from(_KINDS))
+        if kind in (GateKind.NOT, GateKind.BUF):
+            operands = [nets[draw(st.integers(0, len(nets) - 1))]]
+        elif kind in (GateKind.CONST0, GateKind.CONST1):
+            operands = []
+        else:
+            count = draw(st.integers(min_value=1, max_value=3))
+            operands = [
+                nets[draw(st.integers(0, len(nets) - 1))] for _ in range(count)
+            ]
+        nets.append(netlist.add_gate(kind, f"g{position}", operands))
+    n_outputs = draw(st.integers(min_value=1, max_value=min(3, len(nets))))
+    for net in nets[-n_outputs:]:
+        netlist.mark_output(net)
+    return netlist.freeze()
+
+
+def _all_faults(netlist):
+    faults = [None]
+    for net in netlist.nets():
+        faults.append(Fault(net=net, stuck_at=0))
+        faults.append(Fault(net=net, stuck_at=1))
+    for index, gate in enumerate(netlist.gates):
+        for pin in range(len(gate.inputs)):
+            faults.append(
+                Fault(net=gate.inputs[pin], stuck_at=0, gate_index=index, pin=pin)
+            )
+            faults.append(
+                Fault(net=gate.inputs[pin], stuck_at=1, gate_index=index, pin=pin)
+            )
+    return faults
+
+
+@given(random_netlists(), st.integers(min_value=1, max_value=8), st.randoms())
+def test_compiled_matches_interpreted_all_faults(netlist, n_patterns, rng):
+    mask = (1 << n_patterns) - 1
+    inputs = {net: rng.randrange(1 << n_patterns) for net in netlist.inputs}
+    for fault in _all_faults(netlist):
+        interpreted = netlist.evaluate_interpreted(inputs, mask=mask, fault=fault)
+        compiled = netlist.evaluate(inputs, mask=mask, fault=fault)
+        assert compiled == interpreted
+        assert netlist.evaluate_outputs(inputs, mask=mask, fault=fault) == {
+            net: interpreted[net] for net in netlist.outputs
+        }
+
+
+@given(random_netlists(), st.randoms())
+def test_step_kernel_matches_interpreted(netlist, rng):
+    compiled = netlist.compile()
+    for fault in _all_faults(netlist):
+        bits = rng.randrange(1 << len(netlist.inputs))
+        inputs = {net: (bits >> i) & 1 for i, net in enumerate(netlist.inputs)}
+        reference = netlist.evaluate_interpreted(inputs, mask=1, fault=fault)
+        packed = sum(
+            (reference[net] & 1) << position
+            for position, net in enumerate(netlist.outputs)
+        )
+        assert compiled.step(bits, compiled.fault_args(fault, 1)) == packed
+
+
+def _tiny_netlist():
+    netlist = Netlist("tiny")
+    netlist.add_input("a")
+    netlist.add_input("b")
+    netlist.add_gate(GateKind.AND, "ab", ["a", "b"])
+    netlist.add_gate(GateKind.NOT, "na", ["a"])
+    netlist.add_gate(GateKind.OR, "out", ["ab", "na"])
+    netlist.mark_output("out")
+    return netlist
+
+
+def test_compile_requires_freeze():
+    netlist = _tiny_netlist()
+    with pytest.raises(NetlistError):
+        netlist.compile()
+    assert netlist.compiled is None
+    netlist.freeze()
+    assert netlist.compile() is netlist.compile()  # cached
+
+
+def test_missing_input_raises_like_interpreted():
+    netlist = _tiny_netlist().freeze()
+    with pytest.raises(NetlistError):
+        netlist.evaluate({"a": 1})
+
+
+def test_unknown_stem_fault_is_noop():
+    netlist = _tiny_netlist().freeze()
+    ghost = Fault(net="not-a-net", stuck_at=1)
+    inputs = {"a": 1, "b": 0}
+    assert netlist.evaluate(inputs, fault=ghost) == netlist.evaluate(inputs)
+
+
+def test_frozen_structure_tuples_are_cached():
+    netlist = _tiny_netlist()
+    assert netlist.inputs is not netlist.inputs  # rebuilt while mutable
+    netlist.freeze()
+    assert netlist.inputs is netlist.inputs
+    assert netlist.outputs is netlist.outputs
+    assert netlist.gates is netlist.gates
+
+
+def test_pickle_roundtrip_recompiles():
+    netlist = _tiny_netlist().freeze()
+    netlist.compile()
+    clone = pickle.loads(pickle.dumps(netlist))
+    assert clone._compiled is None  # generated code never crosses processes
+    inputs = {"a": 1, "b": 1}
+    assert clone.evaluate(inputs) == netlist.evaluate(inputs)

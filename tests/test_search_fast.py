@@ -1,0 +1,95 @@
+"""Optimised OSTR kernels and search must match the reference path exactly.
+
+``search_ostr(fast=True)`` (the default) swaps in fused/precomputed
+partition-algebra kernels and a DFS-edge join memo; the paper-accounting
+contract is that solutions *and* every search statistic stay identical to
+the unoptimised reference traversal (``fast=False``).
+"""
+
+import dataclasses
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fsm import random_mealy
+from repro.ostr.search import search_ostr
+from repro.partitions import kernel
+
+
+@st.composite
+def succ_tables(draw):
+    n = draw(st.integers(min_value=1, max_value=7))
+    n_inputs = draw(st.integers(min_value=1, max_value=3))
+    return [
+        [draw(st.integers(0, n - 1)) for _ in range(n_inputs)] for _ in range(n)
+    ]
+
+
+@st.composite
+def partitions_of(draw, n):
+    raw = [draw(st.integers(0, n - 1)) for _ in range(n)]
+    return kernel.canonical(raw)
+
+
+@given(succ_tables(), st.data())
+def test_succops_matches_reference_operators(succ, data):
+    n = len(succ)
+    ops = kernel.SuccOps(succ)
+    labels = data.draw(partitions_of(n))
+    assert ops.m(labels) == kernel.m_operator(succ, labels)
+    assert ops.big_m(labels) == kernel.big_m_operator(succ, labels)
+
+
+@given(st.integers(min_value=1, max_value=8), st.data())
+def test_fused_and_fast_lattice_ops_match(n, data):
+    a = data.draw(partitions_of(n))
+    b = data.draw(partitions_of(n))
+    bound = data.draw(partitions_of(n))
+    assert kernel.join_canonical(a, b) == kernel.join(a, b)
+    assert kernel.meet_refines(a, b, bound) == kernel.refines(
+        kernel.meet(a, b), bound
+    )
+    succ = [[data.draw(st.integers(0, n - 1))] for _ in range(n)]
+    ops = kernel.SuccOps(succ)
+    assert ops.refines(a, b) == kernel.refines(a, b)
+    assert ops.meet_refines(a, b, bound) == kernel.meet_refines(a, b, bound)
+
+
+def _assert_same_search(machine, **kwargs):
+    fast = search_ostr(machine, fast=True, **kwargs)
+    reference = search_ostr(machine, fast=False, **kwargs)
+    fast_stats = dataclasses.asdict(fast.stats)
+    reference_stats = dataclasses.asdict(reference.stats)
+    fast_stats.pop("elapsed_seconds")
+    reference_stats.pop("elapsed_seconds")
+    assert fast_stats == reference_stats
+    assert repr(fast.solution.pi) == repr(reference.solution.pi)
+    assert repr(fast.solution.theta) == repr(reference.solution.theta)
+    assert fast.solution.flipflops == reference.solution.flipflops
+
+
+def test_fast_search_identical_on_suite_machines():
+    from repro import suite
+
+    for name in ("shiftreg", "mc", "bbtas", "dk27", "tav"):
+        _assert_same_search(suite.load(name))
+
+
+def test_fast_search_identical_under_node_limit():
+    from repro import suite
+
+    _assert_same_search(suite.load("dk15"), node_limit=500)
+
+
+def test_fast_search_identical_on_random_machines():
+    for seed in range(6):
+        machine = random_mealy(
+            n_states=5 + (seed % 3), n_inputs=2, n_outputs=2, seed=seed
+        )
+        _assert_same_search(machine)
+
+
+def test_fast_search_identical_extended_policy():
+    from repro import suite
+
+    _assert_same_search(suite.load("mc"), policy="extended")
