@@ -7,6 +7,10 @@ the optimised results are bit-identical to the reference paths:
 * **coverage**: a full ``measure_coverage`` BIST campaign -- seed serial
   path (interpreted netlist evaluation, no dropping) versus the engine
   (compiled kernels + exact fault dropping + process fan-out);
+* **superposition**: the pipeline architecture's ``C1``/``C2`` fallback
+  sessions (the faults whose response errors perturb the in-loop compactor
+  and the ``lambda*`` stream) -- one serial replay per fault versus the
+  lane-superposed replay that packs one faulty machine per bit lane;
 * **ostr**: the Table-1 depth-first OSTR sweep -- ``search_ostr`` reference
   kernels versus the optimised kernels (identical solutions and stats).
 
@@ -37,6 +41,7 @@ from repro.bist.architectures import (  # noqa: E402
     build_pipeline,
 )
 from repro.faults.coverage import measure_coverage  # noqa: E402
+from repro.faults.engine import run_campaign  # noqa: E402
 from repro.ostr.search import search_ostr  # noqa: E402
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
@@ -71,6 +76,36 @@ def bench_coverage(name: str, architecture: str, workers: int) -> dict:
         "speedup": round(baseline_s / engine_s, 2) if engine_s else float("inf"),
         "workers": workers,
         "identical": optimized == reference,
+    }
+
+
+def bench_superposition(name: str) -> dict:
+    """Pipeline C1/C2 fallback sessions: serial per-fault replay vs lanes.
+
+    Both runs screen pattern-parallel first; the A/B difference is purely
+    how the surviving faults replay their ``lambda*``-dependent session --
+    one serial compiled run each (``superpose=False``) versus all of them
+    superposed into bit lanes of one multi-lane run (the default).
+    """
+    machine = suite.load(name)
+    controller = build_pipeline(search_ostr(machine).realization())
+    fallback = [bf for bf in controller.fault_universe() if bf[0] in ("C1", "C2")]
+    serial, serial_s = _timed(
+        lambda: run_campaign(
+            controller, dropping=True, faults=fallback, superpose=False
+        )
+    )
+    superposed, lanes_s = _timed(
+        lambda: run_campaign(controller, dropping=True, faults=fallback)
+    )
+    return {
+        "bench": f"superposition/{name}/pipeline-fallback",
+        "faults": serial.total,
+        "coverage": round(serial.coverage, 6),
+        "baseline_s": round(serial_s, 4),
+        "optimized_s": round(lanes_s, 4),
+        "speedup": round(serial_s / lanes_s, 2) if lanes_s else float("inf"),
+        "identical": superposed == serial,
     }
 
 
@@ -139,6 +174,14 @@ def main(argv=None) -> int:
             f"{outcome['baseline_s']:.2f}s -> {outcome['optimized_s']:.2f}s "
             f"(x{outcome['speedup']}, identical={outcome['identical']})"
         )
+    superposition = bench_superposition("dk14")
+    results.append(superposition)
+    print(
+        f"{superposition['bench']}: {superposition['faults']} faults, "
+        f"{superposition['baseline_s']:.2f}s -> "
+        f"{superposition['optimized_s']:.2f}s "
+        f"(x{superposition['speedup']}, identical={superposition['identical']})"
+    )
     sweep = bench_ostr_sweep(sweep_names)
     results.append(sweep)
     print(

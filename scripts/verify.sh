@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Repo verification: tier-1 tests plus a smoke run of the speed benchmark
-# (which asserts the optimised engine is bit-identical to the reference
-# paths).  Used by CI and by hand before merging.
+# Repo verification: tier-1 tests, the cross-engine differential suite
+# (which fails on any golden-file drift), and a smoke run of the speed
+# benchmark (which asserts the optimised engine is bit-identical to the
+# reference paths).  Used by CI and by hand before merging.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -9,6 +10,9 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== tier-1 tests =="
 python -m pytest -x -q
+
+echo "== differential suite (cross-engine matrix + golden signatures) =="
+python -m pytest tests/test_differential.py tests/test_prop_superposed.py -q
 
 echo "== speed benchmark (smoke) =="
 python benchmarks/bench_speed.py --smoke

@@ -37,17 +37,74 @@ from ..encoding import (
     encode_realization,
 )
 from ..exceptions import BistError
+from ..faults.coverage import FAULT_DETECTED, FAULT_DROPPED, FAULT_MISSED
 from ..faults.stuck_at import all_faults
 from ..fsm import MealyMachine
 from ..logic.synth import MultiOutputCover, synthesize_table
 from ..netlist import Netlist, cover_to_netlist
 from ..netlist.netlist import Fault
 from ..ostr.theorem1 import PipelineRealization
-from .compaction import LinearCompactor, stream_errors, transpose_words
+from .compaction import (
+    LaneMisr,
+    LinearCompactor,
+    broadcast_lanes,
+    stream_errors,
+    transpose_words,
+)
 from .lfsr import Lfsr
 from .misr import Misr
 
 BlockFault = Tuple[str, Fault]
+
+#: lane budget of one superposed fallback evaluation (lane 0 is reserved
+#: for the fault-free machine, so each pass packs LANE_WIDTH - 1 faults).
+#: 128-bit words keep Python's big-int ops cheap while amortising the two
+#: per-cycle netlist evaluations over ~100 faulty machines.
+LANE_WIDTH = 128
+
+
+def _lane_groups(items: List, group: int) -> List[List]:
+    """Split ``items`` into runs of at most ``group`` (order preserved)."""
+    return [items[start : start + group] for start in range(0, len(items), group)]
+
+
+def _lane_fault_assignments(compiled, faults: Sequence[Fault]):
+    """(lane_mask, overrides) packing ``faults`` into lanes 1..len(faults).
+
+    Lane 0 is left fault-free as the in-band sanity reference.
+    """
+    lane_mask = (1 << (len(faults) + 1)) - 1
+    overrides = compiled.lane_overrides(
+        [(fault, 1 << (lane + 1)) for lane, fault in enumerate(faults)]
+    )
+    return lane_mask, overrides
+
+
+def _lane_signature_outcomes(
+    banks: Sequence[LaneMisr],
+    reference: Tuple[int, ...],
+    n_faults: int,
+    session_label: str,
+) -> List[int]:
+    """Per-lane final-signature verdicts against the serial reference.
+
+    ``banks`` are the session's signature registers in tuple order; lane 0
+    must reproduce the fault-free reference exactly (any divergence means
+    the superposed replay is broken, so fail loudly rather than mis-grade
+    the whole batch).
+    """
+    if tuple(bank.lane_signature(0) for bank in banks) != reference:
+        raise BistError(
+            f"superposed {session_label}: fault-free lane diverged from "
+            "the serial reference signatures"
+        )
+    outcomes = []
+    for lane in range(1, n_faults + 1):
+        signatures = tuple(bank.lane_signature(lane) for bank in banks)
+        outcomes.append(
+            FAULT_DETECTED if signatures != reference else FAULT_MISSED
+        )
+    return outcomes
 
 
 def _drive(names: Sequence[str], bits: int) -> Dict[str, int]:
@@ -94,8 +151,8 @@ def _linear_session_reference(
     }
 
 
-def _linear_session_detects(network, session: Dict[str, object], fault: Fault) -> bool:
-    """Exact detection verdict for one linear session (with fault dropping).
+def _linear_session_outcome(network, session: Dict[str, object], fault: Fault) -> int:
+    """Exact campaign outcome for one linear session (with fault dropping).
 
     One pattern-parallel faulty evaluation yields the session's complete
     response-error stream; no errors drops the fault immediately, otherwise
@@ -109,8 +166,14 @@ def _linear_session_detects(network, session: Dict[str, object], fault: Fault) -
     )
     errors = stream_errors(faulty, session["ref_out"])
     if not errors:
-        return False
-    return session["compactor"].fold_errors(errors, session["cycles"]) != 0
+        return FAULT_DROPPED
+    if session["compactor"].fold_errors(errors, session["cycles"]) != 0:
+        return FAULT_DETECTED
+    return FAULT_MISSED
+
+
+def _linear_session_detects(network, session: Dict[str, object], fault: Fault) -> bool:
+    return _linear_session_outcome(network, session, fault) == FAULT_DETECTED
 
 
 class PlainController:
@@ -315,6 +378,26 @@ class ConventionalBistController:
             return False  # FEEDBACK lines carry no live data in the session
         return _linear_session_detects(self.plain.network, bundle, fault)
 
+    def campaign_detects_batch(
+        self, bundle: Dict[str, object], block_faults: Sequence[BlockFault]
+    ) -> List[int]:
+        """Outcome codes for a batch of faults (the engine's chunk protocol).
+
+        The session is fully linear (free-running PRPG patterns), so every
+        fault resolves in its own single pattern-parallel evaluation; the
+        batch form exists to report drop/alias outcomes uniformly with the
+        superposing architectures.
+        """
+        outcomes = []
+        for block, fault in block_faults:
+            if block != "C":
+                outcomes.append(FAULT_DROPPED)  # no live data on R -> T
+            else:
+                outcomes.append(
+                    _linear_session_outcome(self.plain.network, bundle, fault)
+                )
+        return outcomes
+
     def _default_cycles(self, cycles: Optional[int]) -> int:
         """Default: one complete generator cycle (exhaustive patterns for C)."""
         if cycles is not None:
@@ -404,9 +487,14 @@ class ParallelSelfTestController:
         """Signature-as-pattern session.
 
         The state patterns are the compacting register's own trajectory, so
-        they depend on every faulty response -- no pattern-parallel fast
-        path exists for this architecture (which is the paper's criticism of
-        it); campaigns fall back to this serial loop, compiled by default.
+        they depend on every faulty response and the session cannot be
+        unrolled pattern-parallel over *cycles* (which is the paper's
+        criticism of the architecture).  Campaigns instead superpose over
+        *faults*: :meth:`campaign_detects_batch` packs one faulty machine
+        per bit lane -- each lane carrying its own register trajectory --
+        and replays all of them in one multi-lane evaluation per cycle.
+        This loop remains the one-fault-at-a-time oracle, compiled by
+        default.
         """
         network_fault = fault[1] if fault is not None else None
         plain = self.plain
@@ -456,6 +544,91 @@ class ParallelSelfTestController:
         self, cycles: Optional[int] = None, seed: int = 1, **options
     ) -> Tuple[int, ...]:
         return self.self_test_signatures(fault=None, cycles=cycles, seed=seed, **options)
+
+    # -- campaign fast path (see repro.faults.engine) -------------------------
+
+    def campaign_reference(
+        self, cycles: Optional[int] = None, seed: int = 1, **_options
+    ) -> Dict[str, object]:
+        """Session parameters + fault-free signatures for the batch path.
+
+        Unlike the linear architectures there are no precomputable pattern
+        streams (the patterns are fault-dependent); the bundle just pins
+        the session so superposed replays and serial fallbacks agree.
+        """
+        cycles = self._default_cycles(cycles)
+        return {
+            "cycles": cycles,
+            "seed": seed,
+            "signatures": self.self_test_signatures(
+                fault=None, cycles=cycles, seed=seed
+            ),
+        }
+
+    def campaign_detects(self, bundle: Dict[str, object], block_fault: BlockFault) -> bool:
+        """One-fault serial verdict (the oracle the superposed path must match)."""
+        signatures = self.self_test_signatures(
+            fault=block_fault, cycles=bundle["cycles"], seed=bundle["seed"]
+        )
+        return signatures != bundle["signatures"]
+
+    def campaign_detects_batch(
+        self, bundle: Dict[str, object], block_faults: Sequence[BlockFault]
+    ) -> List[int]:
+        """Superposed campaign: every fault simulates in its own bit lane."""
+        outcomes: List[int] = []
+        for group in _lane_groups(list(block_faults), LANE_WIDTH - 1):
+            outcomes.extend(
+                self._superposed_outcomes(
+                    bundle["cycles"],
+                    bundle["seed"],
+                    [fault for _block, fault in group],
+                    bundle["signatures"],
+                )
+            )
+        return outcomes
+
+    def _superposed_outcomes(
+        self,
+        cycles: int,
+        seed: int,
+        faults: Sequence[Fault],
+        reference: Tuple[int, ...],
+    ) -> List[int]:
+        """Replay the session once with ``len(faults)`` faulty lanes.
+
+        Lane 0 carries the fault-free machine; lane ``l`` pins fault
+        ``faults[l-1]``.  The state register and output MISR run bit-sliced
+        (:class:`LaneMisr`), so each lane's signature trajectory -- state
+        feedback included -- is exactly the serial loop's for that fault.
+        """
+        plain = self.plain
+        compiled = plain.network.compile()
+        lane_mask, overrides = _lane_fault_assignments(compiled, faults)
+        width = self.width
+        register = LaneMisr(width, lane_mask, seed % (1 << width))
+        input_register = (
+            Lfsr.from_any_seed(plain.input_width, seed, complete=True)
+            if plain.input_width
+            else None
+        )
+        output_misr = LaneMisr(max(4, plain.output_width))
+        lane_eval_outputs = compiled.lane_eval_outputs
+        for _ in range(cycles):
+            input_words = list(register.stages)
+            if input_register is not None:
+                input_words += broadcast_lanes(
+                    input_register.state, plain.input_width, lane_mask
+                )
+            # network outputs are the next-state lines then the z lines
+            out_words = lane_eval_outputs(input_words, lane_mask, overrides)
+            register.absorb_words(out_words[:width])
+            output_misr.absorb_words(out_words[width:])
+            if input_register is not None:
+                input_register.step()
+        return _lane_signature_outcomes(
+            (register, output_misr), reference, len(faults), "parallel self-test"
+        )
 
     def pattern_statistics(
         self, cycles: Optional[int] = None, seed: int = 1
@@ -595,6 +768,15 @@ class DoubledController:
         block, fault = block_fault
         # A fault in one copy is invisible to the other copy's session.
         return _linear_session_detects(self.plain.network, bundle[block], fault)
+
+    def campaign_detects_batch(
+        self, bundle: Dict[str, object], block_faults: Sequence[BlockFault]
+    ) -> List[int]:
+        """Outcome codes per fault; both sessions are fully linear."""
+        return [
+            _linear_session_outcome(self.plain.network, bundle[block], fault)
+            for block, fault in block_faults
+        ]
 
     def _default_cycles(self, cycles: Optional[int]) -> int:
         """Default: one complete generator cycle (exhaustive patterns for C)."""
@@ -1009,39 +1191,92 @@ class PipelineController:
         }
 
     def campaign_detects(self, bundle: Dict[str, object], block_fault: BlockFault) -> bool:
+        """One-fault verdict (the oracle the superposed batch must match)."""
         block, fault = block_fault
         sessions = bundle["sessions"]
         if block == "C1":
-            return self._block_session_detects(sessions["A"], fault)
+            return self._block_session_outcome(sessions["A"], fault) == FAULT_DETECTED
         if block == "C2":
-            return self._block_session_detects(sessions["B"], fault)
-        # LAMBDA: the observation path is linear in the lambda output errors
-        # in every session, because block responses are fault-free.
+            return self._block_session_outcome(sessions["B"], fault) == FAULT_DETECTED
+        return self._lambda_outcome(sessions, fault) == FAULT_DETECTED
+
+    def campaign_detects_batch(
+        self, bundle: Dict[str, object], block_faults: Sequence[BlockFault]
+    ) -> List[int]:
+        """Outcome codes for a batch of faults, superposing the fallbacks.
+
+        ``LAMBDA`` faults resolve linearly per fault (their block responses
+        are fault-free); ``C1``/``C2`` faults are first screened pattern-
+        parallel against their session's PRPG streams, and the survivors --
+        whose response errors perturb the in-loop compactor and with it the
+        ``lambda*`` input stream -- are replayed *together*, one faulty
+        machine per bit lane, instead of one serial run each.
+        """
+        sessions = bundle["sessions"]
+        outcomes: List[int] = [FAULT_MISSED] * len(block_faults)
+        pending: Dict[str, List[Tuple[int, Fault]]] = {"A": [], "B": []}
+        for index, (block, fault) in enumerate(block_faults):
+            if block == "LAMBDA":
+                outcomes[index] = self._lambda_outcome(sessions, fault)
+                continue
+            key = "A" if block == "C1" else "B"
+            if self._block_session_excited(sessions[key], fault):
+                pending[key].append((index, fault))
+            else:
+                outcomes[index] = FAULT_DROPPED
+        for key, survivors in pending.items():
+            session = sessions[key]
+            for group in _lane_groups(survivors, LANE_WIDTH - 1):
+                verdicts = self._superposed_session_outcomes(
+                    session, [fault for _index, fault in group]
+                )
+                for (index, _fault), outcome in zip(group, verdicts):
+                    outcomes[index] = outcome
+        return outcomes
+
+    def _lambda_outcome(self, sessions: Dict[str, Dict], fault: Fault) -> int:
+        """LAMBDA faults: the observation path is linear in the lambda
+        output errors in every session, because block responses are
+        fault-free."""
         compiled = self.lambda_net.compile()
+        excited = False
         for session in sessions.values():
             mask = session["mask"]
             faulty = compiled.eval_outputs_list(
                 session["lambda_streams"], mask, compiled.fault_args(fault, mask)
             )
             errors = stream_errors(faulty, session["ref_lambda_out"])
-            if errors and session["out_compactor"].fold_errors(
-                errors, session["cycles"]
-            ) != 0:
-                return True
-        return False
+            if not errors:
+                continue
+            excited = True
+            if session["out_compactor"].fold_errors(errors, session["cycles"]) != 0:
+                return FAULT_DETECTED
+        return FAULT_MISSED if excited else FAULT_DROPPED
 
-    def _block_session_detects(self, session: Dict[str, object], fault: Fault) -> bool:
+    def _block_session_excited(self, session: Dict[str, object], fault: Fault) -> bool:
+        """Pattern-parallel screen: does any cycle show a response error?
+
+        The session's block patterns come from the free-running PRPG, so
+        the complete faulty response stream is one bit-parallel evaluation;
+        a fault with no error provably leaves the signatures untouched.
+        """
         block = session["block"]
         compiled = block.compile()
         mask = session["mask"]
         faulty = compiled.eval_outputs_list(
             session["streams"], mask, compiled.fault_args(fault, mask)
         )
-        if not stream_errors(faulty, session["ref_out"]):
-            return False  # dropped: the session never excites the fault
-        # A response error perturbs the in-loop compactor and with it the
-        # lambda* input stream, so replay this one session (only) serially
-        # on the compiled kernels for the exact final signatures.
+        return bool(stream_errors(faulty, session["ref_out"]))
+
+    def _block_session_outcome(self, session: Dict[str, object], fault: Fault) -> int:
+        """Exact one-fault outcome via a serial replay of this session.
+
+        This is the per-fault oracle; campaign batches instead superpose
+        all surviving faults of a session into bit lanes
+        (:meth:`_superposed_session_outcomes`) with identical verdicts.
+        """
+        if not self._block_session_excited(session, fault):
+            return FAULT_DROPPED
         fault_key = "C1" if session["generator"] == "R1" else "C2"
         signatures = self._session(
             session["generator"],
@@ -1049,7 +1284,69 @@ class PipelineController:
             session["seed"],
             {fault_key: fault},
         )
-        return signatures != session["signatures"]
+        return (
+            FAULT_DETECTED if signatures != session["signatures"] else FAULT_MISSED
+        )
+
+    def _superposed_session_outcomes(
+        self, session: Dict[str, object], faults: Sequence[Fault]
+    ) -> List[int]:
+        """Replay one session once with ``len(faults)`` faulty lanes.
+
+        Lane 0 carries the fault-free machine, lane ``l`` pins
+        ``faults[l-1]`` into the block under test.  Every lane owns its
+        complete machine state -- in-loop compactor, ``lambda*`` input
+        stream and output MISR run bit-sliced via :class:`LaneMisr` -- so
+        the final per-lane signatures equal the serial replay's exactly,
+        aliasing included; detection remains the signature comparison.
+        """
+        generator = session["generator"]
+        block = session["block"]
+        compiled = block.compile()
+        lambda_compiled = self.lambda_net.compile()
+        lane_mask, overrides = _lane_fault_assignments(compiled, faults)
+        from_r1 = generator == "R1"
+        source_width = self.w1 if from_r1 else self.w2
+        response_width = self.w2 if from_r1 else self.w1
+        misr = LaneMisr(max(1, response_width))
+        output_misr = LaneMisr(max(4, self.output_width + response_width))
+        prpg = Lfsr.from_any_seed(
+            source_width + self.input_width, session["seed"], complete=True
+        )
+        w1, w2 = self.w1, self.w2
+        output_width = self.output_width
+        for _ in range(session["cycles"]):
+            state = prpg.state
+            # The block's inputs are its register bits then x -- the PRPG
+            # word, identical in every lane; only the faults differ.
+            input_words = broadcast_lanes(
+                state, source_width + self.input_width, lane_mask
+            )
+            response_words = compiled.lane_eval_outputs(
+                input_words, lane_mask, overrides
+            )
+            misr.absorb_words(response_words)
+            # lambda* sees (r1, r2, x); the generator side is shared, the
+            # compactor side is each lane's own (post-absorb) MISR state.
+            register_words = input_words[:source_width]
+            x_words = input_words[source_width:]
+            if from_r1:
+                lam_words = register_words + misr.stages[:w2] + x_words
+            else:
+                lam_words = misr.stages[:w1] + register_words + x_words
+            lam_out = lambda_compiled.lane_eval_outputs(lam_words, lane_mask)
+            data_words = list(lam_out)
+            if len(data_words) < output_width:
+                data_words += [0] * (output_width - len(data_words))
+            data_words += response_words
+            output_misr.absorb_words(data_words)
+            prpg.step()
+        return _lane_signature_outcomes(
+            (misr, output_misr),
+            session["signatures"],
+            len(faults),
+            f"session {generator} fallback",
+        )
 
 
 def build_pipeline(

@@ -88,6 +88,70 @@ class LinearCompactor:
         return self.advance(difference, total_cycles - next_cycle)
 
 
+class LaneMisr:
+    """A bit-sliced bank of independent MISRs, one per superposed lane.
+
+    Where :class:`~repro.bist.misr.Misr` keeps one register's state packed
+    in a single integer, this keeps ``width`` *stage words*: bit ``l`` of
+    ``stages[i]`` is stage ``i`` of lane ``l``'s register.  One
+    :meth:`absorb_words` call then clocks every lane's MISR at once --
+    the shift is a list rotation, the feedback parity is the XOR of the
+    tap-stage words (lane-wise), and the data XOR folds in per-response-
+    line lane words.  This is the compaction half of the superposed
+    fallback sessions in :mod:`repro.bist.architectures`: each lane
+    carries one faulty machine, and every lane's trajectory is bit-for-bit
+    the trajectory the serial :class:`Misr` would have followed for that
+    fault alone (property-tested in ``tests/test_prop_superposed.py``).
+    """
+
+    def __init__(self, width: int, lane_mask: int = 0, seed: int = 0) -> None:
+        self.width = width
+        tap_mask = 1 if width == 1 else feedback_tap_mask(width)
+        self._tap_slots = [
+            position for position in range(width) if (tap_mask >> position) & 1
+        ]
+        self.stages: List[int] = [
+            lane_mask if (seed >> position) & 1 else 0 for position in range(width)
+        ]
+
+    def absorb_words(self, words: Sequence[int]) -> None:
+        """Clock every lane once; ``words[i]`` holds response line ``i``.
+
+        Mirrors :meth:`Misr.absorb` per lane: the register shifts down one
+        stage, the top stage takes the tap parity, then the data lines XOR
+        in (missing high lines absorb zero).
+        """
+        stages = self.stages
+        feedback = 0
+        for position in self._tap_slots:
+            feedback ^= stages[position]
+        shifted = stages[1:]
+        shifted.append(feedback)
+        for position, word in enumerate(words):
+            if word:
+                shifted[position] ^= word
+        self.stages = shifted
+
+    def lane_signature(self, lane: int) -> int:
+        """Lane ``l``'s register state, re-packed as one integer."""
+        signature = 0
+        for position, word in enumerate(self.stages):
+            signature |= ((word >> lane) & 1) << position
+        return signature
+
+
+def broadcast_lanes(value: int, count: int, lane_mask: int) -> List[int]:
+    """Packed single-machine bits -> per-line lane words (all lanes equal).
+
+    Fault-independent streams (a free-running PRPG) drive every superposed
+    lane with the same value, so line ``j`` is ``lane_mask`` when bit ``j``
+    of ``value`` is set and ``0`` otherwise.
+    """
+    return [
+        lane_mask if (value >> position) & 1 else 0 for position in range(count)
+    ]
+
+
 def transpose_words(words: Sequence[int], width: int) -> List[int]:
     """Cycle-major packed words -> bit-position-major streams.
 

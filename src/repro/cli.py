@@ -131,9 +131,29 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
                 cycles=args.cycles,
                 workers=args.workers,
                 dropping=not args.reference,
+                superpose=not args.serial_fallback,
+                chunk_size=args.chunk_size,
             )
         )
     )
+    if args.workers > 1:
+        from .faults.engine import CAMPAIGN_STATS
+
+        if CAMPAIGN_STATS:
+            # CAMPAIGN_STATS holds the most recent campaign only -- the
+            # pipeline architecture, the last of the four runs above.
+            dropped = CAMPAIGN_STATS["dropped"]
+            dropped_note = (
+                "screening drops not tracked (serial fallback)"
+                if dropped is None
+                else f"{dropped} faults dropped by screening"
+            )
+            print(
+                f"scheduler (pipeline campaign): {CAMPAIGN_STATS['workers']} "
+                f"workers, chunk size {CAMPAIGN_STATS['chunk_size']}, "
+                f"chunks stolen per worker {CAMPAIGN_STATS['chunks_stolen']}, "
+                + dropped_note
+            )
     return 0
 
 
@@ -284,7 +304,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=0,
-        help="fan the fault universe out over N processes",
+        help="fan the fault universe out over N chunk-stealing processes",
+    )
+    coverage.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="steal granularity in faults (default: auto-balanced)",
+    )
+    coverage.add_argument(
+        "--serial-fallback",
+        action="store_true",
+        help="replay fallback sessions one fault at a time instead of "
+        "superposing them into bit lanes (identical report, slower)",
     )
     coverage.add_argument(
         "--reference",

@@ -268,12 +268,15 @@ def run_coverage(
     method: str = "auto",
     workers: int = 0,
     dropping: bool = False,
+    superpose: bool = True,
+    chunk_size: Optional[int] = None,
 ) -> List[CoverageRow]:
     """Measure self-test stuck-at coverage of Figures 2-4 on one machine.
 
-    ``workers``/``dropping`` select the campaign engine of
-    :mod:`repro.faults.engine`; the reports are bit-identical to the serial
-    oracle either way, so these are pure wall-clock knobs.
+    ``workers``/``dropping``/``superpose``/``chunk_size`` select the
+    campaign engine of :mod:`repro.faults.engine`; the reports are
+    bit-identical to the serial oracle either way, so these are pure
+    wall-clock knobs.
     """
     result = search_ostr(machine)
     realization = result.realization()
@@ -290,7 +293,12 @@ def run_coverage(
         (pipeline, "pipeline (Fig.4)"),
     ):
         report = measure_coverage(
-            controller, cycles=cycles, workers=workers, dropping=dropping
+            controller,
+            cycles=cycles,
+            workers=workers,
+            dropping=dropping,
+            superpose=superpose,
+            chunk_size=chunk_size,
         )
         redundant = _redundant_fault_count(controller)
         detectable = report.total - redundant

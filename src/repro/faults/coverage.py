@@ -16,6 +16,17 @@ from ..netlist.netlist import Fault
 
 BlockFault = Tuple[str, Fault]
 
+#: per-fault campaign outcome codes shared by the batch-detection protocol
+#: (``campaign_detects_batch``) and the engine's shared-memory scheduler:
+#: a fault is *dropped* when pattern-parallel screening proves the session
+#: never excites it, *detected* when the signatures differ, and *missed*
+#: when it is excited but the signature difference compacts to zero
+#: (aliasing).  Dropped and missed both count as undetected in the report;
+#: the distinction feeds the scheduler's telemetry only.
+FAULT_MISSED = 0
+FAULT_DETECTED = 1
+FAULT_DROPPED = 2
+
 
 @dataclass
 class CoverageReport:
@@ -54,6 +65,8 @@ def measure_coverage(
     seed: int = 1,
     workers: int = 0,
     dropping: bool = False,
+    superpose: bool = True,
+    chunk_size: Optional[int] = None,
     **session_options,
 ) -> CoverageReport:
     """Fault simulation of a controller's complete self-test.
@@ -61,9 +74,11 @@ def measure_coverage(
     With the default ``workers=0, dropping=False`` this is the serial
     reference oracle: one full self-test per fault, final signature tuples
     compared.  ``workers=N`` fans the fault universe out over ``N``
-    processes and ``dropping=True`` enables the exact fault-dropping fast
-    paths -- both via :mod:`repro.faults.engine`, which guarantees a
-    bit-identical :class:`CoverageReport` either way.
+    chunk-stealing processes and ``dropping=True`` enables the exact
+    fault-dropping fast paths (including lane-superposed fallback
+    sessions; ``superpose=False`` keeps the per-fault serial replays) --
+    both via :mod:`repro.faults.engine`, which guarantees a bit-identical
+    :class:`CoverageReport` either way.
 
     Extra keyword options (e.g. ``lambda_session=False`` for the strictly
     two-session pipeline flow) are forwarded to the controller's
@@ -78,6 +93,8 @@ def measure_coverage(
             seed=seed,
             workers=workers,
             dropping=dropping,
+            superpose=superpose,
+            chunk_size=chunk_size,
             **session_options,
         )
     reference = controller.self_test_signatures(

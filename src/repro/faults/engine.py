@@ -1,4 +1,5 @@
-"""High-throughput fault-simulation campaigns (exact fault dropping + fan-out).
+"""High-throughput fault-simulation campaigns (exact dropping, superposition,
+chunk-steal fan-out).
 
 This engine accelerates :func:`repro.faults.coverage.measure_coverage`
 campaigns by orders of magnitude while returning **bit-identical**
@@ -36,41 +37,87 @@ the engine drops faults without ever approximating the final signature:
    integer arithmetic (:class:`LinearCompactor`), never re-running the
    session serially.  Zero-error stretches are jumped over with precomputed
    binary powers of ``L``.
-4. Sessions that feed compactor state back into the logic under test (the
-   pipeline's ``lambda*`` observation path under a ``C1``/``C2`` fault, and
-   the Figure-1 parallel self-test entirely) fall back to an exact serial
-   replay -- of the affected session only -- on the compiled single-pattern
-   kernels of :mod:`repro.netlist.compiled`.
+4. **Superposed fallback sessions.**  Sessions that feed compactor state
+   back into the logic under observation (the pipeline's ``lambda*`` path
+   under a ``C1``/``C2`` fault, and the Figure-1 parallel self-test
+   entirely) cannot be unrolled over cycles -- but they *can* be unrolled
+   over faults.  The controllers' ``campaign_detects_batch`` packs one
+   faulty machine per bit lane (lane 0 fault-free) and replays all of them
+   in one multi-lane evaluation per cycle: per-lane fault overrides in the
+   compiled kernel (:meth:`CompiledNetlist.lane_eval`), bit-sliced MISR
+   banks (:class:`~repro.bist.compaction.LaneMisr`) for every register
+   trajectory, and per-lane final-signature comparison, so verdicts --
+   aliasing included -- are bit-identical to one serial replay per fault.
+   ``superpose=False`` forces the old per-fault serial replays (kept as
+   the oracle and as the benchmark baseline).
+
+Chunk-steal scheduling (the ``workers=N`` path)
+-----------------------------------------------
+
+Static index-chunked fan-out (the previous ``ProcessPoolExecutor.map``)
+leaves cores idle when chunks finish unevenly -- and with dropping they
+always do: a chunk of screened-out faults costs microseconds while a chunk
+of fallback survivors replays whole sessions.  The scheduler here instead
+shares one work queue in shared memory:
+
+* a shared next-index counter -- idle workers *steal* the next chunk of
+  fault indices the moment they finish one, so the tail of the campaign
+  stays balanced without any result serialisation;
+* a shared per-fault outcome array (``missed`` / ``detected`` /
+  ``dropped`` flags) that workers write directly, read back index-ordered
+  by the parent for the deterministic merge;
+* a shared per-worker steal counter, exported in :data:`CAMPAIGN_STATS`
+  together with the dropped-fault tally for scheduler telemetry.
+
+Each worker rebuilds the reference signatures and screening bundle once
+(controllers ship pickled without their compiled kernels and recompile
+lazily), then processes stolen chunks through the same batch protocol as
+the in-process path.
 
 Determinism guarantee
 ---------------------
 
-Campaign results do not depend on ``workers`` or ``dropping``: the fault
-universe is enumerated in the controller's canonical order, work is chunked
-by fault index, and the merge reassembles per-fault outcomes in that same
-order before building the report, so ``CoverageReport`` equality holds
-field-for-field against the serial oracle (tests/test_engine.py asserts
-this across all architectures).
+Campaign results do not depend on ``workers``, ``dropping``, ``superpose``
+or ``chunk_size``: every fault's outcome is computed independently (lanes
+never interact), the shared outcome array is indexed by the controller's
+canonical fault order, and the merge rebuilds the report in that order, so
+``CoverageReport`` equality holds field-for-field against the serial
+oracle (tests/test_engine.py and tests/test_differential.py assert this
+across all architectures and engines).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import multiprocessing
+import queue as queue_module
 from typing import Dict, List, Optional, Sequence
 
 from ..bist.compaction import LinearCompactor, stream_errors, transpose_words
-from .coverage import BlockFault, CoverageReport
+from ..exceptions import ReproError
+from .coverage import (
+    FAULT_DETECTED,
+    FAULT_DROPPED,
+    BlockFault,
+    CoverageReport,
+)
 
 __all__ = [
     "LinearCompactor",
     "transpose_words",
     "stream_errors",
     "run_campaign",
+    "CAMPAIGN_STATS",
 ]
+
+#: telemetry of the most recent :func:`run_campaign` in this process:
+#: ``workers``, ``chunk_size``, ``chunks_stolen`` (per worker), ``dropped``
+#: (faults screened out pattern-parallel).  Diagnostics only -- never part
+#: of the returned report, which stays bit-identical across schedules.
+CAMPAIGN_STATS: Dict[str, object] = {}
 
 
 # ---------------------------------------------------------------------------
-# campaign runner
+# per-fault / per-chunk outcome computation (shared by all schedulers)
 # ---------------------------------------------------------------------------
 
 
@@ -83,38 +130,192 @@ def _fault_outcome(controller, bundle, reference, block_fault, cycles, seed, opt
     return signatures != reference
 
 
-# Worker-process state (set once per process by the pool initializer).
-_WORKER: Dict[str, object] = {}
+def _chunk_outcomes(
+    controller,
+    bundle,
+    reference,
+    chunk: Sequence[BlockFault],
+    cycles,
+    seed,
+    superpose: bool,
+    options,
+) -> List[int]:
+    """Outcome codes for one chunk of faults.
+
+    With a screening bundle and a batch-capable controller the whole chunk
+    goes through ``campaign_detects_batch`` (which superposes any serial
+    fallbacks into bit lanes); otherwise faults resolve one at a time via
+    the per-fault oracle.
+    """
+    if (
+        superpose
+        and bundle is not None
+        and hasattr(controller, "campaign_detects_batch")
+    ):
+        return [int(code) for code in controller.campaign_detects_batch(bundle, chunk)]
+    return [
+        int(_fault_outcome(controller, bundle, reference, block_fault, cycles, seed, options))
+        for block_fault in chunk
+    ]
 
 
-def _worker_init(controller, cycles, seed, dropping, options) -> None:
-    _WORKER["controller"] = controller
-    _WORKER["cycles"] = cycles
-    _WORKER["seed"] = seed
-    _WORKER["options"] = options
-    _WORKER["reference"] = controller.self_test_signatures(
+def _campaign_state(controller, cycles, seed, dropping, options):
+    """(reference signatures, screening bundle) -- built once per process."""
+    reference = controller.self_test_signatures(
         fault=None, cycles=cycles, seed=seed, **options
     )
     bundle = None
     if dropping and hasattr(controller, "campaign_reference"):
         bundle = controller.campaign_reference(cycles=cycles, seed=seed, **options)
-    _WORKER["bundle"] = bundle
+    return reference, bundle
 
 
-def _worker_chunk(chunk: List[BlockFault]) -> List[bool]:
-    controller = _WORKER["controller"]
-    return [
-        _fault_outcome(
-            controller,
-            _WORKER["bundle"],
-            _WORKER["reference"],
-            block_fault,
-            _WORKER["cycles"],
-            _WORKER["seed"],
-            _WORKER["options"],
+# ---------------------------------------------------------------------------
+# chunk-steal worker (module-level for picklability under spawn)
+# ---------------------------------------------------------------------------
+
+
+def _steal_worker(
+    worker_index: int,
+    controller,
+    universe: List[BlockFault],
+    cycles,
+    seed,
+    dropping: bool,
+    superpose: bool,
+    options,
+    next_index,
+    outcomes,
+    steal_counts,
+    chunk_size: int,
+    errors,
+) -> None:
+    """One scheduler worker: steal index chunks until the queue drains.
+
+    ``next_index`` is the shared work-queue head (lock-guarded);
+    ``outcomes`` is the shared per-fault flag array (disjoint writes need
+    no lock); ``steal_counts[worker_index]`` tallies stolen chunks; any
+    exception is shipped back through the ``errors`` queue so the parent
+    can re-raise with the real traceback text instead of a bare exit code.
+    """
+    try:
+        reference, bundle = _campaign_state(
+            controller, cycles, seed, dropping, options
         )
-        for block_fault in chunk
+        total = len(universe)
+        while True:
+            with next_index.get_lock():
+                start = next_index.value
+                if start >= total:
+                    break
+                next_index.value = start + chunk_size
+            steal_counts[worker_index] += 1
+            chunk = universe[start : start + chunk_size]
+            codes = _chunk_outcomes(
+                controller, bundle, reference, chunk, cycles, seed, superpose, options
+            )
+            for offset, code in enumerate(codes):
+                outcomes[start + offset] = code
+    except BaseException:
+        import traceback
+
+        errors.put((worker_index, traceback.format_exc()))
+        raise
+
+
+def _parallel_outcomes(
+    controller,
+    universe: List[BlockFault],
+    cycles,
+    seed,
+    dropping: bool,
+    superpose: bool,
+    workers: int,
+    chunk_size: Optional[int],
+    options,
+) -> List[int]:
+    """Fan the universe out over chunk-stealing worker processes."""
+    total = len(universe)
+    if chunk_size is None:
+        # Small enough that the tail balances across workers, large enough
+        # that superposed batches still fill their fault lanes.
+        chunk_size = max(1, min(256, -(-total // (workers * 4))))
+    elif chunk_size < 1:
+        raise ReproError(f"chunk_size must be >= 1, got {chunk_size}")
+    context = multiprocessing.get_context()
+    next_index = context.Value("l", 0)
+    outcomes = context.Array("b", [-1] * total, lock=False)
+    worker_count = min(workers, -(-total // chunk_size))
+    steal_counts = context.Array("l", worker_count, lock=False)
+    errors = context.Queue()
+    processes = [
+        context.Process(
+            target=_steal_worker,
+            args=(
+                index,
+                controller,
+                universe,
+                cycles,
+                seed,
+                dropping,
+                superpose,
+                options,
+                next_index,
+                outcomes,
+                steal_counts,
+                chunk_size,
+                errors,
+            ),
+        )
+        for index in range(worker_count)
     ]
+    for process in processes:
+        process.start()
+    # Drain the error queue *while* waiting: a worker whose traceback
+    # exceeds the pipe buffer would otherwise block in its queue feeder
+    # thread at exit and deadlock the join below.
+    error_reports = []
+    while any(process.is_alive() for process in processes):
+        try:
+            error_reports.append(errors.get(timeout=0.05))
+        except queue_module.Empty:
+            pass
+    for process in processes:
+        process.join()
+    while True:
+        try:
+            error_reports.append(errors.get_nowait())
+        except queue_module.Empty:
+            break
+    failed = [process.exitcode for process in processes if process.exitcode != 0]
+    codes = list(outcomes)
+    if failed or any(code < 0 for code in codes):
+        details = "".join(
+            f"\n--- worker {worker_index} ---\n{trace}"
+            for worker_index, trace in error_reports
+        )
+        raise ReproError(
+            f"campaign worker failure (exit codes {failed}); "
+            f"{sum(1 for code in codes if code < 0)} faults unprocessed"
+            + details
+        )
+    CAMPAIGN_STATS.clear()
+    CAMPAIGN_STATS.update(
+        workers=worker_count,
+        chunk_size=chunk_size,
+        chunks_stolen=list(steal_counts),
+        # Drop/alias outcome codes only flow through the batch protocol;
+        # the per-fault serial fallback reports plain hit/miss booleans.
+        dropped=(
+            sum(1 for code in codes if code == FAULT_DROPPED) if superpose else None
+        ),
+    )
+    return codes
+
+
+# ---------------------------------------------------------------------------
+# campaign runner
+# ---------------------------------------------------------------------------
 
 
 def run_campaign(
@@ -124,58 +325,65 @@ def run_campaign(
     workers: int = 0,
     dropping: bool = True,
     faults: Optional[Sequence[BlockFault]] = None,
+    superpose: bool = True,
+    chunk_size: Optional[int] = None,
     **session_options,
 ) -> CoverageReport:
-    """Fault-simulation campaign with exact dropping and process fan-out.
+    """Fault-simulation campaign with exact dropping and chunk-steal fan-out.
 
     Semantics are identical to the serial
     :func:`repro.faults.coverage.measure_coverage` oracle (see the module
-    docstring for why that holds even under fault dropping); only the
-    wall-clock changes.  ``workers <= 1`` runs in-process; larger values
-    fan the fault universe out over a ``ProcessPoolExecutor`` in
-    deterministic index-ordered chunks.
+    docstring for why that holds even under fault dropping and lane
+    superposition); only the wall-clock changes.  ``workers <= 1`` runs
+    in-process; larger values fan the fault universe out over
+    chunk-stealing worker processes with a deterministic index-ordered
+    merge.  ``superpose=False`` disables the lane-packed fallback sessions
+    in favour of per-fault serial replays (the oracle/benchmark baseline);
+    ``chunk_size`` overrides the steal granularity.
     """
     universe: List[BlockFault] = (
         list(controller.fault_universe()) if faults is None else list(faults)
     )
     options = dict(session_options)
     if workers and workers > 1 and len(universe) > 1:
-        chunk_size = max(1, (len(universe) + workers * 4 - 1) // (workers * 4))
-        chunks = [
-            universe[start : start + chunk_size]
-            for start in range(0, len(universe), chunk_size)
-        ]
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(chunks)),
-            initializer=_worker_init,
-            initargs=(controller, cycles, seed, dropping, options),
-        ) as pool:
-            hit_chunks = list(pool.map(_worker_chunk, chunks))
-        hits = [hit for chunk in hit_chunks for hit in chunk]
-    else:
-        reference = controller.self_test_signatures(
-            fault=None, cycles=cycles, seed=seed, **options
+        codes = _parallel_outcomes(
+            controller,
+            universe,
+            cycles,
+            seed,
+            dropping,
+            superpose,
+            workers,
+            chunk_size,
+            options,
         )
-        bundle = None
-        if dropping and hasattr(controller, "campaign_reference"):
-            bundle = controller.campaign_reference(
-                cycles=cycles, seed=seed, **options
-            )
-        hits = [
-            _fault_outcome(
-                controller, bundle, reference, block_fault, cycles, seed, options
-            )
-            for block_fault in universe
-        ]
+    else:
+        reference, bundle = _campaign_state(
+            controller, cycles, seed, dropping, options
+        )
+        codes = _chunk_outcomes(
+            controller, bundle, reference, universe, cycles, seed, superpose, options
+        )
+        CAMPAIGN_STATS.clear()
+        CAMPAIGN_STATS.update(
+            workers=1,
+            chunk_size=len(universe),
+            chunks_stolen=[1],
+            dropped=(
+                sum(1 for code in codes if code == FAULT_DROPPED)
+                if superpose
+                else None
+            ),
+        )
 
     undetected: List[BlockFault] = []
     by_block: Dict[str, List[int]] = {}
     detected = 0
-    for block_fault, hit in zip(universe, hits):
+    for block_fault, code in zip(universe, codes):
         block = block_fault[0]
         counts = by_block.setdefault(block, [0, 0])
         counts[1] += 1
-        if hit:
+        if code == FAULT_DETECTED:
             detected += 1
             counts[0] += 1
         else:

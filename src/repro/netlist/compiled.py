@@ -24,6 +24,16 @@ Four specialisations are generated from the same gate list:
     and the marked outputs come back packed the same way, which is exactly
     the register-transfer shape of the session loops in
     :mod:`repro.bist.architectures`.
+``lane_all(I, mask, so, br)``
+    Multi-lane evaluation with *per-lane* fault overrides: bit ``l`` of
+    every net is its value in lane ``l``, where each lane simulates one
+    faulty copy of the circuit (lane 0 conventionally fault-free).  ``so``
+    maps net slots to ``(or_mask, and_mask)`` stem overrides and ``br``
+    maps gate indices to pinned-pin branch overrides, each scoped to its
+    lane's bit only.  This is what lets the sequential fallback sessions
+    of :mod:`repro.bist.architectures` superpose many faulty machines --
+    every lane carrying its own register/``lambda*`` trajectory -- into
+    one evaluation per cycle instead of one serial replay per fault.
 
 Compilation is cached per frozen netlist (see :meth:`Netlist.compile`); the
 compiled object is deliberately excluded from pickling so controllers can be
@@ -95,6 +105,45 @@ def _make_refault(kinds: Tuple[GateKind, ...]):
     return _refault
 
 
+def _make_lane_refault(kinds: Tuple[GateKind, ...]):
+    """Per-lane branch-fault merge for the multi-lane kernel.
+
+    ``entries`` is the list of ``(pin, stuck_word, lane_mask)`` overrides
+    attached to one gate: the gate is re-evaluated with input ``pin``
+    pinned to ``stuck_word`` and the result replaces ``current`` in the
+    ``lane_mask`` bits only, so each faulty lane sees its own pin value
+    while every other lane keeps the shared computation.
+    """
+
+    def _lane_refault(
+        gate_index: int, entries, mask: int, ops: tuple, current: int
+    ) -> int:
+        kind = kinds[gate_index]
+        for pin, stuck_word, lane_mask in entries:
+            operands = list(ops)
+            operands[pin] = stuck_word
+            if kind is GateKind.AND:
+                value = mask
+                for operand in operands:
+                    value &= operand
+            elif kind is GateKind.OR:
+                value = 0
+                for operand in operands:
+                    value |= operand
+            elif kind is GateKind.XOR:
+                value = 0
+                for operand in operands:
+                    value ^= operand
+            elif kind is GateKind.NOT:
+                value = ~operands[0] & mask
+            else:  # BUF (CONST gates have no pins)
+                value = operands[0]
+            current = (current & ~lane_mask) | (value & lane_mask)
+        return current
+
+    return _lane_refault
+
+
 class CompiledNetlist:
     """Slot-indexed compiled evaluators for one frozen :class:`Netlist`."""
 
@@ -111,6 +160,7 @@ class CompiledNetlist:
         "_fault_all",
         "_step_good",
         "_step_fault",
+        "_lane_all",
     )
 
     def __init__(self, netlist: Netlist) -> None:
@@ -129,12 +179,17 @@ class CompiledNetlist:
             self.index[net] for net in outputs
         )
         self.source = self._generate(inputs, gates)
-        namespace = {"_refault": _make_refault(tuple(g.kind for g in gates))}
+        kinds = tuple(g.kind for g in gates)
+        namespace = {
+            "_refault": _make_refault(kinds),
+            "_lane_refault": _make_lane_refault(kinds),
+        }
         exec(compile(self.source, f"<compiled netlist {self.name!r}>", "exec"), namespace)
         self._good_all = namespace["good_all"]
         self._fault_all = namespace["fault_all"]
         self._step_good = namespace["step_good"]
         self._step_fault = namespace["step_fault"]
+        self._lane_all = namespace["lane_all"]
 
     # -- code generation -----------------------------------------------------
 
@@ -152,10 +207,16 @@ class CompiledNetlist:
         fault_all = ["def fault_all(I, mask, fs, stuck, fg, fp):"]
         step_good = ["def step_good(bits):"]
         step_fault = ["def step_fault(bits, fs, stuck, fg, fp):"]
+        lane_all = ["def lane_all(I, mask, so, br):", "    g = so.get"]
         for slot in range(n_inputs):
             good_all.append(f"    v{slot} = I[{slot}] & mask")
             fault_all.append(f"    v{slot} = I[{slot}] & mask")
             fault_all.append(f"    if fs == {slot}: v{slot} = stuck")
+            lane_all.append(f"    v{slot} = I[{slot}] & mask")
+            lane_all.append(f"    t = g({slot})")
+            lane_all.append(
+                f"    if t is not None: v{slot} = (v{slot} | t[0]) & t[1]"
+            )
             unpack = "bits & 1" if slot == 0 else f"(bits >> {slot}) & 1"
             step_good.append(f"    v{slot} = {unpack}")
             step_fault.append(f"    v{slot} = {unpack}")
@@ -173,6 +234,7 @@ class CompiledNetlist:
             step_good.append(f"    v{slot} = {step_expr}")
             fault_all.append(f"    v{slot} = {expr}")
             step_fault.append(f"    v{slot} = {step_expr}")
+            lane_all.append(f"    v{slot} = {expr}")
             if gate.inputs:
                 hook = (
                     f"    if fg == {gate_index}: "
@@ -180,13 +242,25 @@ class CompiledNetlist:
                 )
                 fault_all.append(hook.format(m="mask"))
                 step_fault.append(hook.format(m="1"))
+                lane_all.append(f"    e = br.get({gate_index})")
+                lane_all.append(
+                    f"    if e is not None: v{slot} = _lane_refault("
+                    f"{gate_index}, e, mask, ({', '.join(operands)},), v{slot})"
+                )
             fault_all.append(f"    if fs == {slot}: v{slot} = stuck")
             step_fault.append(f"    if fs == {slot}: v{slot} = stuck")
+            lane_all.append(f"    t = g({slot})")
+            lane_all.append(
+                f"    if t is not None: v{slot} = (v{slot} | t[0]) & t[1]"
+            )
         good_all.append(return_all)
         fault_all.append(return_all)
         step_good.append(return_packed)
         step_fault.append(return_packed)
-        return "\n".join(good_all + fault_all + step_good + step_fault) + "\n"
+        lane_all.append(return_all)
+        return "\n".join(
+            good_all + fault_all + step_good + step_fault + lane_all
+        ) + "\n"
 
     # -- fault plumbing ------------------------------------------------------
 
@@ -203,6 +277,40 @@ class CompiledNetlist:
         if fault.is_stem:
             return (self.index.get(fault.net, -1), stuck, -1, -1)
         return (-1, stuck, fault.gate_index, fault.pin)
+
+    def lane_overrides(self, assignments):
+        """Per-lane fault assignments -> the ``lane_all`` override tables.
+
+        ``assignments`` is a sequence of ``(fault, lane_mask)`` pairs; each
+        fault is applied only in the bit positions of its ``lane_mask``
+        (normally a single lane bit).  Stem faults merge into one
+        ``slot -> (or_mask, and_mask)`` table; branch faults collect per
+        gate as ``(pin, stuck_word, lane_mask)`` entries.  A stem fault on
+        a net unknown to this netlist degrades to a no-op, exactly like
+        :meth:`fault_args`.  Lanes are independent because every lane
+        carries at most one fault, so override order within a table cannot
+        matter.
+        """
+        stem: Dict[int, Tuple[int, int]] = {}
+        branch: Dict[int, List[Tuple[int, int, int]]] = {}
+        for fault, lane_mask in assignments:
+            if fault is None:
+                continue
+            if fault.is_stem:
+                slot = self.index.get(fault.net)
+                if slot is None:
+                    continue
+                or_mask, and_mask = stem.get(slot, (0, -1))
+                if fault.stuck_at:
+                    or_mask |= lane_mask
+                else:
+                    and_mask &= ~lane_mask
+                stem[slot] = (or_mask, and_mask)
+            else:
+                branch.setdefault(fault.gate_index, []).append(
+                    (fault.pin, lane_mask if fault.stuck_at else 0, lane_mask)
+                )
+        return (stem, branch)
 
     def pack_inputs(self, input_values: Dict[str, int]) -> List[int]:
         """Dict-keyed input values -> slot-ordered list (with presence check)."""
@@ -242,3 +350,31 @@ class CompiledNetlist:
         if fault_args == NO_FAULT:
             return self._step_good(bits)
         return self._step_fault(bits, *fault_args)
+
+    def lane_eval(
+        self,
+        input_words: Sequence[int],
+        mask: int,
+        overrides=None,
+    ) -> List[int]:
+        """Multi-lane evaluation: bit ``l`` of every net = value in lane ``l``.
+
+        ``input_words`` is slot-ordered like :meth:`eval_list`, but bit
+        positions index superposed *lanes* (machine copies) instead of
+        patterns; ``overrides`` comes from :meth:`lane_overrides` and pins
+        each lane's fault in that lane's bit only.  ``None`` overrides
+        degrade to the plain bit-parallel evaluator.
+        """
+        if overrides is None:
+            return self._good_all(input_words, mask)
+        return self._lane_all(input_words, mask, overrides[0], overrides[1])
+
+    def lane_eval_outputs(
+        self,
+        input_words: Sequence[int],
+        mask: int,
+        overrides=None,
+    ) -> List[int]:
+        """Marked-output lane words only, in output order."""
+        values = self.lane_eval(input_words, mask, overrides)
+        return [values[slot] for slot in self.output_slots]

@@ -8,6 +8,22 @@ from repro.fsm import MealyMachine, random_mealy
 from repro.suite import paper_example, paper_example_pair, shift_register
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate tests/golden/*.json from the current engine "
+        "instead of asserting against the stored verdicts/signatures",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """True when the run should rewrite the golden regression files."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture
 def example_machine() -> MealyMachine:
     """The Figure-5 running example (OCR-corrected)."""

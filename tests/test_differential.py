@@ -1,0 +1,191 @@
+"""Cross-engine differential suite: every campaign engine, one verdict.
+
+The engine zoo has grown -- interpreted session loops, compiled kernels,
+exact fault dropping, lane-superposed fallback sessions, and the
+chunk-steal multiprocess scheduler -- and each refactor so far was guarded
+only by per-pair spot checks.  This module locks the whole matrix down in
+the spirit of synthesized complete-test suites: for a corpus of
+suite-registry machines and all four self-testable architectures it
+asserts that
+
+* every engine produces a **bit-identical** :class:`CoverageReport`
+  (dataclass equality: totals, per-block tallies, undetected-fault order),
+* compiled self-test sessions produce the **same MISR signatures** as the
+  seed interpreted loops, fault by fault,
+* seeded campaigns match the **golden regression files** under
+  ``tests/golden/`` (per-fault verdicts + fault-free signatures), so an
+  engine refactor cannot silently change a verdict.  Regenerate the files
+  with ``pytest tests/test_differential.py --update-golden`` after an
+  *intentional* semantic change.
+
+CI runs this module across a seed matrix: ``REPRO_DIFF_SEED`` moves the
+campaign seed and ``REPRO_DIFF_WORKERS`` sizes the chunk-steal scheduler
+(the golden cases pin their own seed and are matrix-invariant).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import suite
+from repro.bist.architectures import (
+    build_conventional_bist,
+    build_doubled,
+    build_parallel_self_test,
+    build_pipeline,
+)
+from repro.faults.coverage import measure_coverage
+from repro.ostr.search import search_ostr
+
+SEED = int(os.environ.get("REPRO_DIFF_SEED", "3"))
+WORKERS = int(os.environ.get("REPRO_DIFF_WORKERS", "2"))
+CYCLES = 48
+
+MACHINES = ("shiftreg", "tav", "dk27", "bbtas")
+ARCHITECTURES = ("conventional", "parallel", "doubled", "pipeline")
+
+#: engine label -> campaign thunk; "interpreted" is the differential baseline.
+ENGINES = {
+    "interpreted": lambda c, seed: measure_coverage(
+        c, cycles=CYCLES, seed=seed, engine="interpreted"
+    ),
+    "compiled": lambda c, seed: measure_coverage(c, cycles=CYCLES, seed=seed),
+    "superposed": lambda c, seed: measure_coverage(
+        c, cycles=CYCLES, seed=seed, dropping=True
+    ),
+    "dropping-serial": lambda c, seed: measure_coverage(
+        c, cycles=CYCLES, seed=seed, dropping=True, superpose=False
+    ),
+    "workers": lambda c, seed: measure_coverage(
+        c, cycles=CYCLES, seed=seed, workers=WORKERS, dropping=True
+    ),
+}
+
+_BUILDERS = {
+    "conventional": build_conventional_bist,
+    "parallel": build_parallel_self_test,
+    "doubled": build_doubled,
+    "pipeline": lambda machine: build_pipeline(search_ostr(machine).realization()),
+}
+
+_CONTROLLERS = {}
+_BASELINES = {}
+
+
+def _controller(name: str, architecture: str):
+    key = (name, architecture)
+    if key not in _CONTROLLERS:
+        _CONTROLLERS[key] = _BUILDERS[architecture](suite.load(name))
+    return _CONTROLLERS[key]
+
+
+def _baseline(name: str, architecture: str):
+    key = (name, architecture)
+    if key not in _BASELINES:
+        _BASELINES[key] = ENGINES["interpreted"](
+            _controller(name, architecture), SEED
+        )
+    return _BASELINES[key]
+
+
+@pytest.mark.parametrize("architecture", ARCHITECTURES)
+@pytest.mark.parametrize("name", MACHINES)
+@pytest.mark.parametrize(
+    "engine", [label for label in ENGINES if label != "interpreted"]
+)
+def test_engines_bit_identical(name, architecture, engine):
+    """Every engine's CoverageReport equals the interpreted oracle's."""
+    controller = _controller(name, architecture)
+    report = ENGINES[engine](controller, SEED)
+    assert report == _baseline(name, architecture), (
+        f"{engine} diverged from the interpreted oracle on "
+        f"{name}/{architecture}"
+    )
+
+
+@pytest.mark.parametrize("architecture", ARCHITECTURES)
+@pytest.mark.parametrize("name", MACHINES)
+def test_session_signatures_match_interpreted(name, architecture):
+    """Compiled session MISR signatures == interpreted, fault by fault."""
+    controller = _controller(name, architecture)
+    universe = controller.fault_universe()
+    probes = [None] + universe[:: max(1, len(universe) // 8)]
+    for fault in probes:
+        compiled = controller.self_test_signatures(
+            fault=fault, cycles=CYCLES, seed=SEED
+        )
+        interpreted = controller.self_test_signatures(
+            fault=fault, cycles=CYCLES, seed=SEED, engine="interpreted"
+        )
+        assert compiled == interpreted, (name, architecture, fault)
+
+
+# -- golden-signature regression files --------------------------------------
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_SEED = 3
+GOLDEN_CYCLES = 48
+GOLDEN_CASES = (
+    ("dk27", "conventional"),
+    ("dk27", "pipeline"),
+    ("bbtas", "doubled"),
+    ("shiftreg", "parallel"),
+    ("tav", "pipeline"),
+)
+
+
+def _fault_key(block, fault) -> str:
+    return f"{block}: {fault.describe()}"
+
+
+def _golden_payload(name: str, architecture: str) -> dict:
+    """Seeded campaign -> JSON-stable per-fault verdicts + signatures."""
+    controller = _controller(name, architecture)
+    report = measure_coverage(
+        controller, cycles=GOLDEN_CYCLES, seed=GOLDEN_SEED, dropping=True
+    )
+    undetected = {_fault_key(block, fault) for block, fault in report.undetected}
+    return {
+        "machine": name,
+        "architecture": architecture,
+        "cycles": GOLDEN_CYCLES,
+        "seed": GOLDEN_SEED,
+        "fault_free_signatures": list(
+            controller.self_test_signatures(
+                fault=None, cycles=GOLDEN_CYCLES, seed=GOLDEN_SEED
+            )
+        ),
+        "total": report.total,
+        "detected": report.detected,
+        "by_block": {
+            block: list(counts) for block, counts in sorted(report.by_block.items())
+        },
+        "verdicts": [
+            [_fault_key(block, fault), _fault_key(block, fault) not in undetected]
+            for block, fault in controller.fault_universe()
+        ],
+    }
+
+
+@pytest.mark.parametrize("name,architecture", GOLDEN_CASES)
+def test_golden_signatures(name, architecture, update_golden):
+    """Engine refactors cannot silently change seeded campaign verdicts."""
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    path = GOLDEN_DIR / f"{name}_{architecture}.json"
+    payload = _golden_payload(name, architecture)
+    if update_golden:
+        path.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+        return
+    assert path.exists(), (
+        f"golden file {path.name} missing -- generate it with "
+        "`pytest tests/test_differential.py --update-golden`"
+    )
+    stored = json.loads(path.read_text(encoding="utf-8"))
+    assert payload == stored, (
+        f"campaign verdicts drifted from {path.name}; if the change is "
+        "intentional, regenerate with --update-golden"
+    )

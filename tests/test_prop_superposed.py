@@ -1,0 +1,204 @@
+"""Property tests: superposed lane-packed evaluation == N serial runs.
+
+The superposition engine rests on three mechanisms, each checked here
+against its serial counterpart cycle-for-cycle so hypothesis shrinks any
+divergence down to the offending fault:
+
+* the multi-lane compiled kernel (``lane_eval`` with per-lane fault
+  overrides) against one ``fault_args`` evaluation per fault,
+* the bit-sliced :class:`LaneMisr` bank against independent
+  :class:`Misr` registers,
+* a full feedback session -- netlist outputs compacted by a register that
+  drives the netlist's own inputs, the shape of the parallel self-test
+  and of the pipeline's ``lambda*`` fallback -- superposed over random
+  fault subsets against one serial faulty run per fault.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bist.compaction import LaneMisr, broadcast_lanes
+from repro.bist.misr import Misr
+from repro.netlist import Fault, GateKind, Netlist
+
+_KINDS = (GateKind.AND, GateKind.OR, GateKind.XOR, GateKind.NOT, GateKind.BUF)
+
+
+@st.composite
+def random_netlists(draw, max_inputs=4, max_gates=8):
+    n_inputs = draw(st.integers(min_value=1, max_value=max_inputs))
+    n_gates = draw(st.integers(min_value=1, max_value=max_gates))
+    netlist = Netlist("hyp")
+    nets = []
+    for position in range(n_inputs):
+        nets.append(netlist.add_input(f"i{position}"))
+    for position in range(n_gates):
+        kind = draw(st.sampled_from(_KINDS))
+        if kind in (GateKind.NOT, GateKind.BUF):
+            operands = [nets[draw(st.integers(0, len(nets) - 1))]]
+        else:
+            count = draw(st.integers(min_value=1, max_value=3))
+            operands = [
+                nets[draw(st.integers(0, len(nets) - 1))] for _ in range(count)
+            ]
+        nets.append(netlist.add_gate(kind, f"g{position}", operands))
+    n_outputs = draw(st.integers(min_value=1, max_value=min(3, n_gates)))
+    for net in nets[-n_outputs:]:
+        netlist.mark_output(net)
+    return netlist.freeze()
+
+
+@st.composite
+def random_faults(draw, netlist, max_faults=6):
+    """A non-empty subset of stem and branch faults of ``netlist``."""
+    nets = netlist.nets()
+    count = draw(st.integers(min_value=1, max_value=max_faults))
+    faults = []
+    for _ in range(count):
+        stuck = draw(st.integers(0, 1))
+        if draw(st.booleans()):
+            faults.append(Fault(net=nets[draw(st.integers(0, len(nets) - 1))], stuck_at=stuck))
+        else:
+            gate_index = draw(st.integers(0, netlist.n_gates - 1))
+            gate = netlist.gates[gate_index]
+            pin = draw(st.integers(0, len(gate.inputs) - 1))
+            faults.append(
+                Fault(
+                    net=gate.inputs[pin],
+                    stuck_at=stuck,
+                    gate_index=gate_index,
+                    pin=pin,
+                )
+            )
+    return faults
+
+
+@st.composite
+def netlist_faults_patterns(draw):
+    netlist = draw(random_netlists())
+    faults = draw(random_faults(netlist))
+    n_cycles = draw(st.integers(min_value=1, max_value=8))
+    patterns = [
+        [draw(st.integers(0, 1)) for _ in netlist.inputs] for _ in range(n_cycles)
+    ]
+    return netlist, faults, patterns
+
+
+@given(netlist_faults_patterns())
+def test_lane_eval_equals_serial_per_fault(data):
+    """One multi-lane evaluation == one serial evaluation per fault, per cycle."""
+    netlist, faults, patterns = data
+    compiled = netlist.compile()
+    lane_mask = (1 << (len(faults) + 1)) - 1
+    overrides = compiled.lane_overrides(
+        [(fault, 1 << (lane + 1)) for lane, fault in enumerate(faults)]
+    )
+    for pattern in patterns:
+        words = [lane_mask if bit else 0 for bit in pattern]
+        lane_out = compiled.lane_eval_outputs(words, lane_mask, overrides)
+        good = compiled.eval_outputs_list(pattern, 1)
+        assert [(word >> 0) & 1 for word in lane_out] == good, "fault-free lane 0"
+        for lane, fault in enumerate(faults, start=1):
+            serial = compiled.eval_outputs_list(
+                pattern, 1, compiled.fault_args(fault, 1)
+            )
+            assert [(word >> lane) & 1 for word in lane_out] == serial, fault
+
+
+@given(
+    st.sampled_from((1, 3, 4, 7, 12)),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=0, max_value=4095),
+    st.lists(
+        st.lists(st.integers(min_value=0, max_value=4095), min_size=1, max_size=8),
+        min_size=1,
+        max_size=16,
+    ),
+)
+def test_lane_misr_bank_equals_independent_misrs(width, lanes, seed, stream):
+    """Bit-sliced LaneMisr == one Misr per lane, cycle for cycle."""
+    space = 1 << width
+    lane_mask = (1 << lanes) - 1
+    serial = [Misr(width, seed=seed % space) for _ in range(lanes)]
+    bank = LaneMisr(width, lane_mask=lane_mask, seed=seed % space)
+    for row in stream:
+        data = [(row[lane % len(row)] * (lane + 1)) % space for lane in range(lanes)]
+        words = [0] * width
+        for lane, value in enumerate(data):
+            for position in range(width):
+                words[position] |= ((value >> position) & 1) << lane
+        for lane, register in enumerate(serial):
+            register.absorb(data[lane])
+        bank.absorb_words(words)
+        for lane, register in enumerate(serial):
+            assert bank.lane_signature(lane) == register.signature
+
+
+@given(netlist_faults_patterns(), st.integers(min_value=0, max_value=4095))
+@settings(deadline=None)
+def test_superposed_feedback_session_equals_serial_runs(data, seed):
+    """Feedback session (outputs -> MISR -> inputs) superposed over faults.
+
+    This is the exact shape the fallback sessions superpose: the register
+    trajectory depends on every faulty response, so each lane must carry
+    its own register state.  The superposed run must equal N independent
+    serial faulty runs cycle-for-cycle.
+    """
+    netlist, faults, patterns = data
+    compiled = netlist.compile()
+    width = len(netlist.outputs)
+    n_inputs = len(netlist.inputs)
+    fed = min(width, n_inputs)  # inputs driven by the register
+    cycles = len(patterns)
+
+    def serial_states(fault):
+        register = Misr(width, seed=seed % (1 << width))
+        states = []
+        args = compiled.fault_args(fault, 1)
+        for pattern in patterns:
+            bits = [
+                (register.signature >> position) & 1 if position < fed else pattern[position]
+                for position in range(n_inputs)
+            ]
+            outputs = compiled.eval_outputs_list(bits, 1, args)
+            data_word = 0
+            for position, value in enumerate(outputs):
+                data_word |= (value & 1) << position
+            register.absorb(data_word)
+            states.append(register.signature)
+        return states
+
+    lane_mask = (1 << (len(faults) + 1)) - 1
+    overrides = compiled.lane_overrides(
+        [(fault, 1 << (lane + 1)) for lane, fault in enumerate(faults)]
+    )
+    bank = LaneMisr(width, lane_mask=lane_mask, seed=seed % (1 << width))
+    lane_states = [[] for _ in range(len(faults) + 1)]
+    for pattern in patterns:
+        words = bank.stages[:fed] + [
+            lane_mask if pattern[position] else 0 for position in range(fed, n_inputs)
+        ]
+        out_words = compiled.lane_eval_outputs(words, lane_mask, overrides)
+        bank.absorb_words(out_words)
+        for lane in range(len(faults) + 1):
+            lane_states[lane].append(bank.lane_signature(lane))
+
+    assert lane_states[0] == serial_states(None), "fault-free lane 0"
+    for lane, fault in enumerate(faults, start=1):
+        assert lane_states[lane] == serial_states(fault), fault
+
+
+@given(
+    st.integers(min_value=0, max_value=255),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=1, max_value=6),
+)
+def test_broadcast_lanes_replicates_bits(value, count, lanes):
+    lane_mask = (1 << lanes) - 1
+    words = broadcast_lanes(value, count, lane_mask)
+    assert len(words) == count
+    for position, word in enumerate(words):
+        expected = lane_mask if (value >> position) & 1 else 0
+        assert word == expected
