@@ -11,6 +11,14 @@ the optimised results are bit-identical to the reference paths:
   sessions (the faults whose response errors perturb the in-loop compactor
   and the ``lambda*`` stream) -- one serial replay per fault versus the
   lane-superposed replay that packs one faulty machine per bit lane;
+* **ppsfp**: exhaustive pattern-set fault simulation of the widest
+  combinational block -- the serial interpreted walker (the oracle)
+  versus the per-fault compiled kernels versus the lane-superposed PPSFP
+  kernel (one fault per bit lane on top of the pattern packing);
+* **pool-reuse**: a sweep of repeated campaigns -- fresh chunk-steal
+  worker processes forked per campaign versus one persistent
+  ``CampaignPool`` whose workers keep the controller compiled and its
+  campaign state cached across campaigns;
 * **ostr**: the Table-1 depth-first OSTR sweep -- ``search_ostr`` reference
   kernels versus the optimised kernels (identical solutions and stats).
 
@@ -42,6 +50,11 @@ from repro.bist.architectures import (  # noqa: E402
 )
 from repro.faults.coverage import measure_coverage  # noqa: E402
 from repro.faults.engine import run_campaign  # noqa: E402
+from repro.faults.pool import CampaignPool  # noqa: E402
+from repro.faults.simulator import (  # noqa: E402
+    exhaustive_patterns,
+    simulate_patterns,
+)
 from repro.ostr.search import search_ostr  # noqa: E402
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
@@ -109,6 +122,95 @@ def bench_superposition(name: str) -> dict:
     }
 
 
+def bench_ppsfp(name: str) -> dict:
+    """Exhaustive PPSFP on the widest combinational block of ``name``.
+
+    Baseline is the serial interpreted walker (the seed oracle); the
+    per-fault compiled kernels are recorded as the intermediate; the
+    optimised path is the lane-superposed kernel, which packs one fault
+    per bit lane on top of the pattern packing so one evaluation screens
+    ``lanes x patterns`` fault/pattern pairs.
+    """
+    machine = suite.load(name)
+    network = build_conventional_bist(machine).plain.network
+    patterns = exhaustive_patterns(len(network.inputs))
+    interpreted, interpreted_s = _timed(
+        lambda: simulate_patterns(network, patterns, engine="interpreted")
+    )
+    compiled, compiled_s = _timed(
+        lambda: simulate_patterns(network, patterns, engine="compiled")
+    )
+    superposed, lanes_s = _timed(
+        lambda: simulate_patterns(network, patterns, engine="superposed")
+    )
+    return {
+        "bench": f"ppsfp/{name}/C-exhaustive",
+        "inputs": len(network.inputs),
+        "patterns": len(patterns),
+        "faults": interpreted.total,
+        "coverage": round(interpreted.coverage, 6),
+        "baseline_s": round(interpreted_s, 4),
+        "compiled_s": round(compiled_s, 4),
+        "optimized_s": round(lanes_s, 4),
+        "speedup": round(interpreted_s / lanes_s, 2) if lanes_s else float("inf"),
+        "speedup_vs_compiled": (
+            round(compiled_s / lanes_s, 2) if lanes_s else float("inf")
+        ),
+        "identical": superposed == interpreted == compiled,
+    }
+
+
+def bench_pool_reuse(names, workers: int, rounds: int = 2, pipelines: bool = True) -> dict:
+    """Campaign sweep: fresh workers per campaign vs one persistent pool.
+
+    The Table-style shape the pool exists for: many campaigns over many
+    controllers, repeated.  The baseline forks a fresh set of chunk-steal
+    workers for every campaign (each rebuilding reference signatures and
+    screening bundles); the pool keeps the workers -- and their
+    per-controller subject/state caches -- alive across the whole sweep,
+    so every repeated campaign is a cache hit.
+    """
+    controllers = [build_conventional_bist(suite.load(name)) for name in names]
+    if pipelines:
+        controllers += [
+            build_pipeline(search_ostr(suite.load(name)).realization())
+            for name in names
+        ]
+    campaigns = len(controllers) * rounds
+    fresh_reports, fresh_s = _timed(
+        lambda: [
+            run_campaign(controller, workers=workers, dropping=True)
+            for _ in range(rounds)
+            for controller in controllers
+        ]
+    )
+
+    def pooled_sweep():
+        with CampaignPool(workers) as pool:
+            return (
+                [
+                    run_campaign(controller, dropping=True, pool=pool)
+                    for _ in range(rounds)
+                    for controller in controllers
+                ],
+                dict(pool.stats),
+            )
+
+    (pool_reports, stats), pool_s = _timed(pooled_sweep)
+    return {
+        "bench": f"pool-reuse/sweep-{len(controllers)}x{rounds}",
+        "machines": list(names),
+        "faults": sum(report.total for report in fresh_reports),
+        "campaigns": campaigns,
+        "workers": workers,
+        "baseline_s": round(fresh_s, 4),
+        "optimized_s": round(pool_s, 4),
+        "speedup": round(fresh_s / pool_s, 2) if pool_s else float("inf"),
+        "reuse_hits": stats["reuse_hits"],
+        "identical": fresh_reports == pool_reports,
+    }
+
+
 def bench_ostr_sweep(names) -> dict:
     per_machine = {}
     total_reference = total_fast = 0.0
@@ -157,6 +259,10 @@ def main(argv=None) -> int:
     if args.smoke:
         coverage_cases = [("dk27", "conventional"), ("dk27", "pipeline")]
         sweep_names = [n for n in suite.names() if n not in HEAVY]
+        ppsfp_name = "dk16"  # widest block outside the heavy OSTR cases
+        pool_case = dict(
+            names=("shiftreg", "tav", "dk27"), workers=2, pipelines=False
+        )
     else:
         coverage_cases = [
             ("dk27", "conventional"),
@@ -164,6 +270,10 @@ def main(argv=None) -> int:
             ("dk14", "pipeline"),
         ]
         sweep_names = list(suite.names())
+        ppsfp_name = "s1"  # the suite's widest combinational block
+        pool_case = dict(
+            names=("shiftreg", "tav", "dk27", "bbtas"), workers=2
+        )
 
     results = []
     for name, architecture in coverage_cases:
@@ -181,6 +291,24 @@ def main(argv=None) -> int:
         f"{superposition['baseline_s']:.2f}s -> "
         f"{superposition['optimized_s']:.2f}s "
         f"(x{superposition['speedup']}, identical={superposition['identical']})"
+    )
+    ppsfp = bench_ppsfp(ppsfp_name)
+    results.append(ppsfp)
+    print(
+        f"{ppsfp['bench']}: {ppsfp['faults']} faults x {ppsfp['patterns']} "
+        f"patterns, {ppsfp['baseline_s']:.2f}s -> {ppsfp['optimized_s']:.2f}s "
+        f"(x{ppsfp['speedup']} vs oracle, x{ppsfp['speedup_vs_compiled']} vs "
+        f"compiled, identical={ppsfp['identical']})"
+    )
+    pool_reuse = bench_pool_reuse(**pool_case)
+    results.append(pool_reuse)
+    print(
+        f"{pool_reuse['bench']}: {pool_reuse['campaigns']} campaigns / "
+        f"{pool_reuse['faults']} faults total, "
+        f"{pool_reuse['baseline_s']:.2f}s -> "
+        f"{pool_reuse['optimized_s']:.2f}s (x{pool_reuse['speedup']}, "
+        f"{pool_reuse['reuse_hits']} reuse hits, "
+        f"identical={pool_reuse['identical']})"
     )
     sweep = bench_ostr_sweep(sweep_names)
     results.append(sweep)

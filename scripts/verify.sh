@@ -2,17 +2,27 @@
 # Repo verification: tier-1 tests, the cross-engine differential suite
 # (which fails on any golden-file drift), and a smoke run of the speed
 # benchmark (which asserts the optimised engine is bit-identical to the
-# reference paths).  Used by CI and by hand before merging.
+# reference paths).  When pytest-cov is available (CI installs it) the
+# tier-1 run additionally enforces the line-coverage floor over the
+# fault-simulation and netlist packages.  Used by CI and by hand before
+# merging.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== tier-1 tests =="
-python -m pytest -x -q
+if python -c "import pytest_cov" >/dev/null 2>&1; then
+  python -m pytest -x -q --cov=repro.faults --cov=repro.netlist \
+    --cov-report=term --cov-fail-under=85
+else
+  echo "(pytest-cov not installed; running without the coverage floor)"
+  python -m pytest -x -q
+fi
 
-echo "== differential suite (cross-engine matrix + golden signatures) =="
-python -m pytest tests/test_differential.py tests/test_prop_superposed.py -q
+echo "== differential suite (cross-engine + PPSFP matrix, golden signatures, pool lifecycle) =="
+python -m pytest tests/test_differential.py tests/test_prop_superposed.py \
+  tests/test_prop_ppsfp.py tests/test_pool.py -q
 
 echo "== speed benchmark (smoke) =="
 python benchmarks/bench_speed.py --smoke

@@ -124,36 +124,58 @@ def _cmd_arch(args: argparse.Namespace) -> int:
 
 def _cmd_coverage(args: argparse.Namespace) -> int:
     machine = _load_machine(args.machine)
-    print(
-        experiments.format_coverage(
-            experiments.run_coverage(
-                machine,
-                cycles=args.cycles,
-                workers=args.workers,
-                dropping=not args.reference,
-                superpose=not args.serial_fallback,
-                chunk_size=args.chunk_size,
+    pool = None
+    if args.pool:
+        from .faults.pool import CampaignPool
+
+        pool = CampaignPool(args.pool)
+    try:
+        print(
+            experiments.format_coverage(
+                experiments.run_coverage(
+                    machine,
+                    cycles=args.cycles,
+                    workers=args.workers,
+                    # The interpreted oracle only decides verdicts on the
+                    # serial per-fault path; dropping would resolve them
+                    # through the compiled screening kernels instead.
+                    dropping=not args.reference and args.engine != "interpreted",
+                    superpose=not args.serial_fallback,
+                    chunk_size=args.chunk_size,
+                    pool=pool,
+                    engine=args.engine,
+                )
             )
         )
-    )
-    if args.workers > 1:
-        from .faults.engine import CAMPAIGN_STATS
+        if args.workers > 1 or pool is not None:
+            from .faults.engine import CAMPAIGN_STATS
 
-        if CAMPAIGN_STATS:
-            # CAMPAIGN_STATS holds the most recent campaign only -- the
-            # pipeline architecture, the last of the four runs above.
-            dropped = CAMPAIGN_STATS["dropped"]
-            dropped_note = (
-                "screening drops not tracked (serial fallback)"
-                if dropped is None
-                else f"{dropped} faults dropped by screening"
-            )
+            if CAMPAIGN_STATS:
+                # CAMPAIGN_STATS holds the most recent campaign only -- the
+                # pipeline architecture, the last of the four runs above.
+                dropped = CAMPAIGN_STATS["dropped"]
+                dropped_note = (
+                    "screening drops not tracked (serial fallback)"
+                    if dropped is None
+                    else f"{dropped} faults dropped by screening"
+                )
+                print(
+                    f"scheduler (pipeline campaign): {CAMPAIGN_STATS['workers']} "
+                    f"workers, chunk size {CAMPAIGN_STATS['chunk_size']}, "
+                    f"chunks stolen per worker {CAMPAIGN_STATS['chunks_stolen']}, "
+                    + dropped_note
+                )
+        if pool is not None:
+            stats = pool.stats
             print(
-                f"scheduler (pipeline campaign): {CAMPAIGN_STATS['workers']} "
-                f"workers, chunk size {CAMPAIGN_STATS['chunk_size']}, "
-                f"chunks stolen per worker {CAMPAIGN_STATS['chunks_stolen']}, "
-                + dropped_note
+                f"pool: {args.pool} persistent workers served "
+                f"{stats['campaigns']} campaigns + {stats['ppsfp']} PPSFP "
+                f"requests, {stats['reuse_hits']} compiled-subject reuse "
+                f"hits, {stats['respawns']} respawns"
             )
+    finally:
+        if pool is not None:
+            pool.close()
     return 0
 
 
@@ -322,6 +344,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--reference",
         action="store_true",
         help="serial oracle without fault dropping (identical report, slower)",
+    )
+    coverage.add_argument(
+        "--pool",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve all campaigns and PPSFP screens from N persistent "
+        "worker processes (compiled state reused across campaigns)",
+    )
+    coverage.add_argument(
+        "--engine",
+        choices=("compiled", "interpreted"),
+        default="compiled",
+        help="session evaluation kernels; 'interpreted' runs the seed "
+        "dict-keyed serial oracle end to end (disables fault dropping so "
+        "verdicts really come from it; identical report, slower)",
     )
     coverage.set_defaults(handler=_cmd_coverage)
 

@@ -270,13 +270,19 @@ def run_coverage(
     dropping: bool = False,
     superpose: bool = True,
     chunk_size: Optional[int] = None,
+    pool=None,
+    engine: str = "compiled",
 ) -> List[CoverageRow]:
     """Measure self-test stuck-at coverage of Figures 2-4 on one machine.
 
     ``workers``/``dropping``/``superpose``/``chunk_size`` select the
     campaign engine of :mod:`repro.faults.engine`; the reports are
     bit-identical to the serial oracle either way, so these are pure
-    wall-clock knobs.
+    wall-clock knobs.  ``pool`` (a
+    :class:`~repro.faults.pool.CampaignPool`) runs all four campaigns --
+    and the PPSFP redundancy screens -- over the same persistent workers,
+    the sweep shape the pool exists for; ``engine="interpreted"`` selects
+    the seed dict-keyed session loops as the oracle.
     """
     result = search_ostr(machine)
     realization = result.realization()
@@ -299,8 +305,10 @@ def run_coverage(
             dropping=dropping,
             superpose=superpose,
             chunk_size=chunk_size,
+            pool=pool,
+            engine=engine,
         )
-        redundant = _redundant_fault_count(controller)
+        redundant = _redundant_fault_count(controller, pool=pool)
         detectable = report.total - redundant
         structurally_missed = (
             len(controller.feedback_faults())
@@ -323,7 +331,7 @@ def run_coverage(
     return rows
 
 
-def _redundant_fault_count(controller) -> int:
+def _redundant_fault_count(controller, pool=None) -> int:
     """Faults no input pattern can detect (combinational redundancy)."""
     networks = []
     if hasattr(controller, "plain"):
@@ -335,7 +343,7 @@ def _redundant_fault_count(controller) -> int:
     redundant = 0
     for network in networks:
         outcome = simulate_patterns(
-            network, exhaustive_patterns(len(network.inputs))
+            network, exhaustive_patterns(len(network.inputs)), pool=pool
         )
         redundant += outcome.total - outcome.detected
     return redundant

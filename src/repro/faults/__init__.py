@@ -10,8 +10,10 @@ from .simulator import (
 )
 from .coverage import CoverageReport, measure_coverage
 from .engine import LinearCompactor, run_campaign
+from .pool import CampaignPool
 
 __all__ = [
+    "CampaignPool",
     "LinearCompactor",
     "run_campaign",
     "stem_faults",

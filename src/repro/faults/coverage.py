@@ -67,6 +67,7 @@ def measure_coverage(
     dropping: bool = False,
     superpose: bool = True,
     chunk_size: Optional[int] = None,
+    pool=None,
     **session_options,
 ) -> CoverageReport:
     """Fault simulation of a controller's complete self-test.
@@ -78,13 +79,15 @@ def measure_coverage(
     fault-dropping fast paths (including lane-superposed fallback
     sessions; ``superpose=False`` keeps the per-fault serial replays) --
     both via :mod:`repro.faults.engine`, which guarantees a bit-identical
-    :class:`CoverageReport` either way.
+    :class:`CoverageReport` either way.  ``pool`` runs the campaign on a
+    persistent :class:`~repro.faults.pool.CampaignPool` whose workers keep
+    controllers compiled across campaigns (same guarantee).
 
     Extra keyword options (e.g. ``lambda_session=False`` for the strictly
     two-session pipeline flow) are forwarded to the controller's
     ``self_test_signatures``.
     """
-    if workers > 1 or dropping:
+    if workers > 1 or dropping or pool is not None:
         from .engine import run_campaign
 
         return run_campaign(
@@ -95,6 +98,7 @@ def measure_coverage(
             dropping=dropping,
             superpose=superpose,
             chunk_size=chunk_size,
+            pool=pool,
             **session_options,
         )
     reference = controller.self_test_signatures(

@@ -74,6 +74,18 @@ Each worker rebuilds the reference signatures and screening bundle once
 lazily), then processes stolen chunks through the same batch protocol as
 the in-process path.
 
+Persistent pools (the ``pool=`` path)
+-------------------------------------
+
+One-shot fan-out pays the fork + state-rebuild cost on every campaign;
+Table-style sweeps run many campaigns back to back.  Passing a
+:class:`~repro.faults.pool.CampaignPool` routes the same chunk-steal
+protocol over long-lived workers that cache each controller (and its
+per-session reference state) across campaigns -- see
+:mod:`repro.faults.pool`.  Outcome codes, merge order and therefore the
+reports are identical; ``CAMPAIGN_STATS`` additionally carries the pool's
+reuse/respawn telemetry.
+
 Determinism guarantee
 ---------------------
 
@@ -159,6 +171,15 @@ def _chunk_outcomes(
     ]
 
 
+def default_chunk_size(total: int, workers: int) -> int:
+    """Steal granularity shared by the one-shot and pooled schedulers.
+
+    Small enough that the tail balances across workers, large enough that
+    superposed batches still fill their fault lanes.
+    """
+    return max(1, min(256, -(-total // (workers * 4))))
+
+
 def _campaign_state(controller, cycles, seed, dropping, options):
     """(reference signatures, screening bundle) -- built once per process."""
     reference = controller.self_test_signatures(
@@ -237,9 +258,7 @@ def _parallel_outcomes(
     """Fan the universe out over chunk-stealing worker processes."""
     total = len(universe)
     if chunk_size is None:
-        # Small enough that the tail balances across workers, large enough
-        # that superposed batches still fill their fault lanes.
-        chunk_size = max(1, min(256, -(-total // (workers * 4))))
+        chunk_size = default_chunk_size(total, workers)
     elif chunk_size < 1:
         raise ReproError(f"chunk_size must be >= 1, got {chunk_size}")
     context = multiprocessing.get_context()
@@ -327,6 +346,7 @@ def run_campaign(
     faults: Optional[Sequence[BlockFault]] = None,
     superpose: bool = True,
     chunk_size: Optional[int] = None,
+    pool=None,
     **session_options,
 ) -> CoverageReport:
     """Fault-simulation campaign with exact dropping and chunk-steal fan-out.
@@ -339,13 +359,43 @@ def run_campaign(
     chunk-stealing worker processes with a deterministic index-ordered
     merge.  ``superpose=False`` disables the lane-packed fallback sessions
     in favour of per-fault serial replays (the oracle/benchmark baseline);
-    ``chunk_size`` overrides the steal granularity.
+    ``chunk_size`` overrides the steal granularity.  ``pool`` routes the
+    campaign over a persistent :class:`~repro.faults.pool.CampaignPool`
+    (``workers`` is then ignored; the pool's size applies).
     """
     universe: List[BlockFault] = (
         list(controller.fault_universe()) if faults is None else list(faults)
     )
     options = dict(session_options)
-    if workers and workers > 1 and len(universe) > 1:
+    if pool is not None:
+        codes = pool.campaign_codes(
+            controller,
+            total=len(universe),
+            faults=universe if faults is not None else None,
+            cycles=cycles,
+            seed=seed,
+            dropping=dropping,
+            superpose=superpose,
+            chunk_size=chunk_size,
+            options=options,
+        )
+        CAMPAIGN_STATS.clear()
+        CAMPAIGN_STATS.update(
+            workers=pool.workers,
+            chunk_size=pool.last_job.get("chunk_size"),
+            chunks_stolen=list(pool.last_job.get("chunks_stolen", [])),
+            dropped=(
+                sum(1 for code in codes if code == FAULT_DROPPED)
+                if superpose
+                else None
+            ),
+            pool={
+                "reuse_hits": pool.last_job.get("reuse_hits", 0),
+                "campaigns": pool.stats["campaigns"],
+                "respawns": pool.stats["respawns"],
+            },
+        )
+    elif workers and workers > 1 and len(universe) > 1:
         codes = _parallel_outcomes(
             controller,
             universe,

@@ -1,0 +1,643 @@
+"""Persistent campaign worker pools.
+
+The chunk-steal scheduler of :mod:`repro.faults.engine` forks a fresh set
+of worker processes for every campaign, and each worker rebuilds its
+campaign state (compiled netlist kernels, reference signatures, screening
+bundles, packed pattern streams) from scratch.  For one big campaign that
+amortises fine; for Table-style sweeps -- many campaigns over many
+machines (:mod:`repro.experiments`, the benchmark harness) -- the
+per-campaign fork + rebuild cost dominates.  A :class:`CampaignPool` keeps
+the workers alive instead:
+
+* **Long-lived workers.**  ``workers`` processes are spawned once,
+  inheriting the shared scheduling state (next-chunk counter, per-fault
+  outcome flags, per-worker steal counters), and receive jobs over
+  per-worker duplex pipes.  Two job kinds share the protocol: full
+  ``measure_coverage`` campaigns and PPSFP pattern-set simulations.
+* **Subject + state caches.**  A job references its subject (controller or
+  netlist) by the SHA-1 of its pickled bytes; the payload ships only to
+  workers that have not cached that digest yet ("reuse hits"), and every
+  worker keeps the unpickled subject -- with its lazily compiled netlist
+  kernels -- plus the per-(subject, session-parameters) campaign state
+  across jobs.  Repeated campaigns therefore skip fork, unpickle,
+  recompile *and* reference-signature rebuild.
+* **Chunk stealing, deterministic merge.**  Within a job, workers steal
+  index chunks from the shared counter exactly like the one-shot engine
+  scheduler; the parent reads the outcome flags back index-ordered, so
+  reports are bit-identical to the serial oracle regardless of schedule.
+  The shared outcome array has a fixed ``capacity``; larger fault
+  universes are processed in capacity-sized slabs, merged in order.
+* **Self-healing lifecycle.**  An exception inside a job does not kill the
+  worker -- the traceback ships back in the reply and the worker keeps
+  serving.  A worker that *dies* (hard crash, ``os._exit``) is detected
+  via pipe EOF / liveness, reported as a :exc:`ReproError` carrying
+  whatever diagnostics reached the parent, and replaced by a fresh process
+  before the next job.  ``close()`` shuts the workers down; closing twice
+  or using a closed pool raises cleanly.
+
+Scheduler telemetry (per-worker steal counts, reuse hits, respawns) is
+exported through :data:`repro.faults.engine.CAMPAIGN_STATS` for campaign
+jobs and accumulated in :attr:`CampaignPool.stats`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import pickle
+import time
+import traceback
+import weakref
+from collections import OrderedDict
+from multiprocessing import connection as mp_connection
+from typing import Dict, List, Optional, Sequence
+
+from ..exceptions import ReproError
+from .simulator import _ppsfp_chunk_flags, _ppsfp_state
+from .stuck_at import all_faults
+
+__all__ = ["CampaignPool"]
+
+#: grace period (seconds) the parent keeps waiting for surviving workers
+#: after it has observed a crashed sibling -- a dead worker can leave the
+#: shared counter lock held, wedging the rest of the slab.
+_CRASH_GRACE = 10.0
+
+#: per-worker bound on cached subjects.  The parent tracks each worker's
+#: cache contents, evicts least-recently-used subjects (and their session
+#: states) via the job protocol, and re-ships payloads on demand, so a
+#: long-lived pool sweeping many machines cannot grow without bound.
+_SUBJECT_CACHE_LIMIT = 8
+
+
+# ---------------------------------------------------------------------------
+# worker side (module-level for picklability under spawn contexts)
+# ---------------------------------------------------------------------------
+
+
+def _job_universe(job: Dict[str, object], subject) -> List:
+    """This slab's fault slice, recomputed or shipped.
+
+    Explicit fault lists travel in the job; the default universe is
+    recomputed from the cached subject (``fault_universe()`` /
+    :func:`all_faults` are deterministic), which keeps repeat jobs free of
+    per-campaign pickling.
+    """
+    if job["faults"] is not None:
+        return job["faults"]
+    if job["kind"] == "campaign":
+        universe = subject.fault_universe()
+    else:
+        universe = all_faults(subject)
+    return universe[job["offset"] : job["offset"] + job["count"]]
+
+
+#: per-subject bound on cached *campaign* session states (a seed/cycles
+#: sweep over one controller would otherwise accumulate one reference
+#: bundle per parameter combination forever).  Campaign states rebuild
+#: from the job message alone, so workers may evict them unilaterally;
+#: PPSFP states may not (the parent stops re-shipping a pattern set it
+#: believes cached), so those only leave with their subject.
+_SESSION_STATE_LIMIT = 8
+
+
+def _worker_state(job: Dict[str, object], subject, states: Dict):
+    """Per-(subject, session-parameters) state, cached across jobs."""
+    state_key = (job["key"], job["token"])
+    if state_key in states:
+        if job["kind"] == "campaign":
+            states[state_key] = states.pop(state_key)  # LRU touch
+        return states[state_key]
+    if job["kind"] == "campaign":
+        from .engine import _campaign_state
+
+        states[state_key] = _campaign_state(
+            subject, job["cycles"], job["seed"], job["dropping"], job["options"]
+        )
+        campaign_keys = [
+            sk
+            for sk in states
+            if sk[0] == job["key"] and sk[1][0] == "campaign"
+        ]
+        for stale in campaign_keys[: -_SESSION_STATE_LIMIT]:
+            del states[stale]
+    else:
+        if job["patterns"] is None:
+            raise ReproError(
+                "pool protocol error: PPSFP state missing but the "
+                "pattern payload was not shipped"
+            )
+        states[state_key] = _ppsfp_state(subject, job["patterns"])
+    return states[state_key]
+
+
+def _worker_serve(
+    job: Dict[str, object],
+    subjects: Dict,
+    states: Dict,
+    worker_index: int,
+    next_index,
+    outcomes,
+    steal_counts,
+) -> bool:
+    """Run one job's chunk-steal loop; returns True on a subject cache hit."""
+    for evicted in job.get("evict", ()):
+        subjects.pop(evicted, None)
+        for state_key in [sk for sk in states if sk[0] == evicted]:
+            del states[state_key]
+    key = job["key"]
+    reused = key in subjects
+    if not reused:
+        if job["payload"] is None:
+            raise ReproError(
+                f"pool worker {worker_index} has no cached subject {key[:12]}"
+            )
+        subjects[key] = pickle.loads(job["payload"])
+    subject = subjects[key]
+    try:
+        return _worker_run_job(
+            job, subject, states, worker_index, next_index, outcomes,
+            steal_counts, reused,
+        )
+    except BaseException:
+        # The parent's cache mirror only records subjects on successful
+        # replies; keep the worker consistent with it (and leak-free) by
+        # rolling a failed job's fresh subject and states back out.
+        if not reused:
+            subjects.pop(key, None)
+            for state_key in [sk for sk in states if sk[0] == key]:
+                del states[state_key]
+        raise
+
+
+def _worker_run_job(
+    job: Dict[str, object],
+    subject,
+    states: Dict,
+    worker_index: int,
+    next_index,
+    outcomes,
+    steal_counts,
+    reused: bool,
+) -> bool:
+    """Chunk-steal loop of one job against a resolved, cached subject."""
+    state = _worker_state(job, subject, states)
+    universe = _job_universe(job, subject)
+    total = len(universe)
+    chunk_size = job["chunk_size"]
+    if job["kind"] == "campaign":
+        from .engine import _chunk_outcomes
+
+        reference, bundle = state
+
+        def resolve(chunk):
+            return _chunk_outcomes(
+                subject,
+                bundle,
+                reference,
+                chunk,
+                job["cycles"],
+                job["seed"],
+                job["superpose"],
+                job["options"],
+            )
+
+    else:
+
+        def resolve(chunk):
+            return _ppsfp_chunk_flags(state, chunk, engine=job["engine"])
+
+    while True:
+        with next_index.get_lock():
+            start = next_index.value
+            if start >= total:
+                break
+            next_index.value = start + chunk_size
+        steal_counts[worker_index] += 1
+        codes = resolve(universe[start : start + chunk_size])
+        for offset, code in enumerate(codes):
+            outcomes[start + offset] = code
+    return reused
+
+
+def _pool_worker(worker_index, connection, next_index, outcomes, steal_counts):
+    """Worker main loop: serve jobs until shutdown or parent exit.
+
+    Job-level exceptions are shipped back as ``("error", ...)`` replies and
+    the worker keeps serving -- only a hard crash (or shutdown) ends the
+    process, and the parent detects that through the pipe.
+    """
+    subjects: Dict = {}
+    states: Dict = {}
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):
+            break  # parent went away
+        if message[0] == "shutdown":
+            break
+        job = message[1]
+        try:
+            reused = _worker_serve(
+                job,
+                subjects,
+                states,
+                worker_index,
+                next_index,
+                outcomes,
+                steal_counts,
+            )
+            connection.send(("done", worker_index, reused))
+        except BaseException:
+            connection.send(("error", worker_index, traceback.format_exc()))
+
+
+# ---------------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------------
+
+
+class CampaignPool:
+    """A persistent pool of fault-simulation worker processes.
+
+    Use as a context manager or ``close()`` explicitly.  All jobs are
+    deterministic: outcomes are merged index-ordered, so the resulting
+    reports equal the serial oracle's field for field (the pooled cells of
+    ``tests/test_differential.py`` assert exactly that).
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        capacity: int = 1 << 15,
+        context: Optional[object] = None,
+    ) -> None:
+        if workers < 1:
+            raise ReproError(f"pool needs >= 1 worker, got {workers}")
+        if capacity < 1:
+            raise ReproError(f"pool capacity must be >= 1, got {capacity}")
+        self.workers = workers
+        self._capacity = capacity
+        self._context = context if context is not None else multiprocessing.get_context()
+        self._next_index = self._context.Value("l", 0)
+        self._outcomes = self._context.Array("b", capacity, lock=False)
+        self._steal_counts = self._context.Array("l", workers, lock=False)
+        self._members: List[Optional[tuple]] = [None] * workers
+        # Parent-side mirror of each worker's cache: subject key ->
+        # session tokens, LRU-ordered, so payloads/patterns ship only on
+        # misses and evictions stay coordinated with the worker.
+        self._worker_cache: List[OrderedDict] = [
+            OrderedDict() for _ in range(workers)
+        ]
+        self._pending_evict: List[List[str]] = [[] for _ in range(workers)]
+        # subject -> (payload bytes, digest): repeat jobs on a live subject
+        # skip re-pickling it just to recompute a known cache key.  Safe
+        # because subjects are frozen once built (netlists seal their
+        # structure; controllers are static after construction).
+        self._payloads: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        # Indices whose worker was observed crashing (pipe EOF / liveness).
+        # Tracked explicitly because a freshly-dead child may not be
+        # waitable yet, so ``is_alive()`` alone can still say True.
+        self._dead: set = set()
+        self._closed = False
+        #: cumulative pool telemetry (also folded into ``CAMPAIGN_STATS``
+        #: by campaign jobs): jobs served per kind, subject-cache reuse
+        #: hits across workers, and worker respawns after crashes.
+        self.stats: Dict[str, int] = {
+            "campaigns": 0,
+            "ppsfp": 0,
+            "reuse_hits": 0,
+            "respawns": 0,
+        }
+        #: telemetry of the most recent job (chunk size, per-worker steal
+        #: counts summed over slabs, reuse hits).
+        self.last_job: Dict[str, object] = {}
+        for index in range(workers):
+            self._spawn(index)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _spawn(self, index: int) -> None:
+        parent_end, child_end = self._context.Pipe()
+        process = self._context.Process(
+            target=_pool_worker,
+            args=(
+                index,
+                child_end,
+                self._next_index,
+                self._outcomes,
+                self._steal_counts,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_end.close()
+        self._members[index] = (process, parent_end)
+        self._worker_cache[index] = OrderedDict()
+        self._pending_evict[index] = []
+
+    def _heal(self) -> None:
+        """Replace dead workers after a crash.
+
+        A worker can die *while holding* the shared next-index lock (the
+        POSIX semaphore underneath is not robust to owner death), which
+        would wedge every future job.  A crash therefore resets the whole
+        scheduling core: the counter is reallocated and **all** workers
+        are restarted against it -- survivors cannot keep running with the
+        old counter, and their subject caches are rebuilt on the next job
+        (crashes are the exceptional path; reuse only pauses for one job).
+        """
+        dead = set(self._dead)
+        for index, (process, _connection) in enumerate(self._members):
+            if not process.is_alive():
+                dead.add(index)
+        if not dead:
+            return
+        self._next_index = self._context.Value("l", 0)
+        for index, (process, connection) in enumerate(self._members):
+            if process.is_alive():
+                process.terminate()
+            connection.close()
+            process.join()
+            self._spawn(index)
+            self.stats["respawns"] += 1
+        self._dead.clear()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ReproError("campaign pool is closed")
+
+    def close(self) -> None:
+        """Shut the workers down.  Closing twice raises (lifecycle bug)."""
+        self._ensure_open()
+        self._closed = True
+        for process, connection in self._members:
+            try:
+                connection.send(("shutdown",))
+            except (BrokenPipeError, OSError):
+                pass
+        for process, connection in self._members:
+            process.join(timeout=5)
+            if process.is_alive():
+                process.terminate()
+                process.join()
+            connection.close()
+
+    def __enter__(self) -> "CampaignPool":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        if not self._closed:
+            self.close()
+
+    def __del__(self) -> None:
+        try:
+            if not self._closed:
+                self.close()
+        except Exception:
+            pass
+
+    # -- job execution -------------------------------------------------------
+
+    def _broadcast(self, job: Dict[str, object], payload: bytes) -> None:
+        key = job["key"]
+        token = job["token"]
+        for attempt in (0, 1):
+            try:
+                for index in range(self.workers):
+                    _process, connection = self._members[index]
+                    known = self._worker_cache[index].get(key)
+                    shipped = dict(job)
+                    shipped["payload"] = None if known is not None else payload
+                    if (
+                        "patterns" in shipped
+                        and known is not None
+                        and token in known
+                    ):
+                        # worker holds the (subject, patterns) state --
+                        # don't re-ship the pattern list every slab
+                        shipped["patterns"] = None
+                    shipped["evict"] = list(self._pending_evict[index])
+                    connection.send(("job", shipped))
+                    self._pending_evict[index] = []
+                return
+            except (BrokenPipeError, OSError):
+                # A worker died between jobs (e.g. its crash outran the
+                # liveness check).  _heal() restarts *every* worker, which
+                # also discards any copies of this job already sent, so
+                # the whole broadcast restarts cleanly -- once.
+                if attempt:
+                    raise ReproError(
+                        "pool worker pipes broken twice in a row"
+                    )
+                self._dead.add(index)
+                self._heal()
+
+    def _collect(self) -> tuple:
+        """Wait for one reply per worker; returns (reuse_flags, failures)."""
+        pending: Dict[object, int] = {
+            self._members[index][1]: index for index in range(self.workers)
+        }
+        reuse_flags: Dict[int, bool] = {}
+        failures: List[str] = []
+        crash_seen_at: Optional[float] = None
+
+        def mark_dead(index: int) -> None:
+            nonlocal crash_seen_at
+            process = self._members[index][0]
+            failures.append(
+                f"worker {index} died (exit code {process.exitcode})"
+            )
+            self._dead.add(index)
+            crash_seen_at = crash_seen_at or time.monotonic()
+
+        while pending:
+            # One blocking wait over all outstanding pipes; a dead
+            # worker's pipe becomes ready (EOF) and recv raises.
+            ready = mp_connection.wait(list(pending), timeout=0.2)
+            for connection in ready:
+                index = pending.pop(connection)
+                try:
+                    reply = connection.recv()
+                except (EOFError, OSError):
+                    mark_dead(index)
+                    continue
+                if reply[0] == "done":
+                    reuse_flags[index] = reply[2]
+                else:
+                    failures.append(f"worker {index} raised:\n{reply[2]}")
+            if not ready:
+                for connection, index in list(pending.items()):
+                    if not self._members[index][0].is_alive():
+                        del pending[connection]
+                        mark_dead(index)
+            # A crashed worker can leave the shared counter lock held; give
+            # the survivors a grace period, then cut them loose too.
+            if (
+                pending
+                and crash_seen_at is not None
+                and time.monotonic() - crash_seen_at > _CRASH_GRACE
+            ):
+                for connection, index in sorted(
+                    pending.items(), key=lambda item: item[1]
+                ):
+                    process = self._members[index][0]
+                    failures.append(
+                        f"worker {index} stalled after a sibling crash; terminated"
+                    )
+                    process.terminate()
+                    self._dead.add(index)
+                pending.clear()
+        return reuse_flags, failures
+
+    def _run(
+        self,
+        kind: str,
+        subject,
+        total: int,
+        faults: Optional[List],
+        job_base: Dict[str, object],
+        chunk_size: Optional[int],
+    ) -> List[int]:
+        self._ensure_open()
+        self._heal()
+        if total == 0:
+            self.last_job = {"chunk_size": 0, "chunks_stolen": [0] * self.workers,
+                            "reuse_hits": self.workers}
+            return []
+        try:
+            payload, key = self._payloads[subject]
+        except (KeyError, TypeError):
+            payload = pickle.dumps(subject, protocol=pickle.HIGHEST_PROTOCOL)
+            key = hashlib.sha1(payload).hexdigest()
+            try:
+                self._payloads[subject] = (payload, key)
+            except TypeError:
+                pass  # un-weakref-able subject: just recompute next time
+        if chunk_size is not None and chunk_size < 1:
+            raise ReproError(f"chunk_size must be >= 1, got {chunk_size}")
+        codes: List[int] = []
+        steals = [0] * self.workers
+        reuse_hits = 0
+        for slab, offset in enumerate(range(0, total, self._capacity)):
+            count = min(self._capacity, total - offset)
+            slab_chunk = chunk_size
+            if slab_chunk is None:
+                from .engine import default_chunk_size
+
+                slab_chunk = default_chunk_size(count, self.workers)
+            self._next_index.value = 0
+            self._outcomes[:count] = [-1] * count
+            self._steal_counts[:] = [0] * self.workers
+            job = dict(
+                job_base,
+                kind=kind,
+                key=key,
+                offset=offset,
+                count=count,
+                chunk_size=slab_chunk,
+                faults=(
+                    faults[offset : offset + count] if faults is not None else None
+                ),
+            )
+            self._broadcast(job, payload)
+            reuse_flags, failures = self._collect()
+            slab_codes = list(self._outcomes[:count])
+            for index in range(self.workers):
+                steals[index] += self._steal_counts[index]
+            token = job_base["token"]
+            for index, reused in reuse_flags.items():
+                cache = self._worker_cache[index]
+                tokens = cache.setdefault(key, set())
+                tokens.add(token)
+                cache.move_to_end(key)
+                while len(cache) > _SUBJECT_CACHE_LIMIT:
+                    evicted_key, _tokens = cache.popitem(last=False)
+                    self._pending_evict[index].append(evicted_key)
+                # PPSFP states pin their packed pattern streams and cannot
+                # be evicted worker-side (the parent would stop re-shipping
+                # the patterns), so a subject churning through many pattern
+                # sets is evicted wholesale and re-ships on next use.
+                if (
+                    kind == "ppsfp"
+                    and key in cache
+                    and sum(1 for t in cache[key] if t[0] == "ppsfp")
+                    > _SESSION_STATE_LIMIT
+                ):
+                    del cache[key]
+                    self._pending_evict[index].append(key)
+                if slab == 0 and reused:
+                    reuse_hits += 1
+            if failures or any(code < 0 for code in slab_codes):
+                self._heal()
+                unprocessed = sum(1 for code in slab_codes if code < 0)
+                raise ReproError(
+                    f"campaign pool job failed ({unprocessed} faults "
+                    "unprocessed):\n" + "\n".join(failures)
+                )
+            codes.extend(slab_codes)
+        self.stats[kind if kind == "ppsfp" else "campaigns"] += 1
+        self.stats["reuse_hits"] += reuse_hits
+        self.last_job = {
+            "chunk_size": slab_chunk,
+            "chunks_stolen": steals,
+            "reuse_hits": reuse_hits,
+        }
+        return codes
+
+    # -- public job kinds ----------------------------------------------------
+
+    def campaign_codes(
+        self,
+        controller,
+        total: int,
+        faults: Optional[List],
+        cycles: Optional[int],
+        seed: int,
+        dropping: bool,
+        superpose: bool,
+        chunk_size: Optional[int],
+        options: Dict[str, object],
+    ) -> List[int]:
+        """Outcome codes of one fault-simulation campaign (engine protocol).
+
+        Called by :func:`repro.faults.engine.run_campaign` with the
+        controller's canonical fault order; ``faults`` is the explicit
+        list when the caller restricted the universe, else ``None`` and
+        workers recompute ``fault_universe()`` from their cached subject.
+        """
+        token = (
+            "campaign",
+            cycles,
+            seed,
+            bool(dropping),
+            tuple(sorted(options.items())),
+        )
+        job_base = {
+            "cycles": cycles,
+            "seed": seed,
+            "dropping": bool(dropping),
+            "superpose": bool(superpose),
+            "options": options,
+            "token": token,
+        }
+        return self._run("campaign", controller, total, faults, job_base, chunk_size)
+
+    def ppsfp_flags(
+        self,
+        netlist,
+        patterns: Sequence[str],
+        faults: Optional[List],
+        total: int,
+        engine: str = "superposed",
+        chunk_size: Optional[int] = None,
+    ) -> List[int]:
+        """Per-fault detection flags of one PPSFP pattern-set simulation."""
+        patterns = list(patterns)
+        digest = hashlib.sha1("\n".join(patterns).encode("ascii")).hexdigest()
+        job_base = {
+            "patterns": patterns,
+            "engine": engine,
+            "token": ("ppsfp", len(patterns), digest),
+        }
+        return self._run("ppsfp", netlist, total, faults, job_base, chunk_size)

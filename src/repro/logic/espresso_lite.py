@@ -73,19 +73,30 @@ def _supercube(minterms: Sequence[str], n_inputs: int) -> str:
 def _reduce(cubes: List[str], on_set: Sequence[str], n_inputs: int) -> List[str]:
     """REDUCE pass: shrink each cube to the supercube of the on-set
     minterms only it covers; a shrunk cube can expand differently on the
-    next pass, letting the loop escape local minima."""
-    reduced: List[str] = []
-    for position, cube in enumerate(cubes):
-        others = cubes[:position] + cubes[position + 1 :]
+    next pass, letting the loop escape local minima.
+
+    Cubes are processed sequentially against the *current* (partially
+    reduced) cover: each step either shrinks one cube around minterms the
+    rest does not cover, or drops a cube whose minterms the rest does
+    cover -- so the list remains a cover of the on-set throughout.
+    (Reducing all cubes against the original list simultaneously is
+    unsound: two cubes that mutually cover a minterm would both drop it.)
+    """
+    reduced = list(cubes)
+    position = 0
+    while position < len(reduced):
+        others = reduced[:position] + reduced[position + 1 :]
         exclusive = [
             minterm
             for minterm in on_set
-            if cube_covers(cube, minterm)
+            if cube_covers(reduced[position], minterm)
             and not any(cube_covers(other, minterm) for other in others)
         ]
         if exclusive:
-            reduced.append(_supercube(exclusive, n_inputs))
-        # cubes with no exclusive minterms are dropped (irredundant)
+            reduced[position] = _supercube(exclusive, n_inputs)
+            position += 1
+        else:
+            del reduced[position]  # fully covered by the rest (irredundant)
     return reduced
 
 
@@ -133,7 +144,14 @@ def minimize_heuristic(
         if not reduced:
             break
         current = one_pass(reduced)
-        if cost(current) < cost(best):
+        # Candidate covers must actually cover the on-set before they can
+        # compete on cost (EXPAND/IRREDUNDANT never add coverage, so a
+        # coverage hole would otherwise win on cube count and only be
+        # caught by verify_cover below).
+        if all(
+            any(cube_covers(cube, minterm) for cube in current)
+            for minterm in on_set
+        ) and cost(current) < cost(best):
             best = list(current)
 
     cover = Cover(n_inputs, tuple(sorted(best)))

@@ -34,6 +34,15 @@ Four specialisations are generated from the same gate list:
     of :mod:`repro.bist.architectures` superpose many faulty machines --
     every lane carrying its own register/``lambda*`` trajectory -- into
     one evaluation per cycle instead of one serial replay per fault.
+    A "lane" is really an arbitrary bit *field*: the PPSFP kernel of
+    :mod:`repro.faults.simulator` hands each fault a whole pattern-set
+    field (``mask << (lane * n_patterns)``) so one evaluation screens
+    ``lanes x patterns`` fault/pattern pairs at once.
+``good_out`` / ``fault_out`` / ``lane_out``
+    Output-slot-only twins of the three ``*_all`` evaluators above; the
+    per-fault screening loops and the PPSFP kernels only ever look at the
+    marked outputs, so these skip materialising the full net list on
+    every call.
 
 Compilation is cached per frozen netlist (see :meth:`Netlist.compile`); the
 compiled object is deliberately excluded from pickling so controllers can be
@@ -161,6 +170,9 @@ class CompiledNetlist:
         "_step_good",
         "_step_fault",
         "_lane_all",
+        "_good_out",
+        "_fault_out",
+        "_lane_out",
     )
 
     def __init__(self, netlist: Netlist) -> None:
@@ -190,6 +202,9 @@ class CompiledNetlist:
         self._step_good = namespace["step_good"]
         self._step_fault = namespace["step_fault"]
         self._lane_all = namespace["lane_all"]
+        self._good_out = namespace["good_out"]
+        self._fault_out = namespace["fault_out"]
+        self._lane_out = namespace["lane_out"]
 
     # -- code generation -----------------------------------------------------
 
@@ -197,24 +212,29 @@ class CompiledNetlist:
         n_inputs = len(inputs)
         all_slots = ", ".join(f"v{slot}" for slot in range(len(self.net_names)))
         return_all = f"    return [{all_slots}]" if self.net_names else "    return []"
+        out_slots = ", ".join(f"v{slot}" for slot in self.output_slots)
+        return_out = f"    return [{out_slots}]" if self.output_slots else "    return []"
         packed_out = " | ".join(
             f"v{slot}" if position == 0 else f"(v{slot} << {position})"
             for position, slot in enumerate(self.output_slots)
         )
         return_packed = f"    return {packed_out}" if self.output_slots else "    return 0"
 
-        good_all = ["def good_all(I, mask):"]
-        fault_all = ["def fault_all(I, mask, fs, stuck, fg, fp):"]
+        # One straight-line body per specialisation family, shared by its
+        # all-nets and outputs-only variants (identical arguments, only the
+        # return differs).
+        good_body: List[str] = []
+        fault_body: List[str] = []
+        lane_body: List[str] = ["    g = so.get"]
         step_good = ["def step_good(bits):"]
         step_fault = ["def step_fault(bits, fs, stuck, fg, fp):"]
-        lane_all = ["def lane_all(I, mask, so, br):", "    g = so.get"]
         for slot in range(n_inputs):
-            good_all.append(f"    v{slot} = I[{slot}] & mask")
-            fault_all.append(f"    v{slot} = I[{slot}] & mask")
-            fault_all.append(f"    if fs == {slot}: v{slot} = stuck")
-            lane_all.append(f"    v{slot} = I[{slot}] & mask")
-            lane_all.append(f"    t = g({slot})")
-            lane_all.append(
+            good_body.append(f"    v{slot} = I[{slot}] & mask")
+            fault_body.append(f"    v{slot} = I[{slot}] & mask")
+            fault_body.append(f"    if fs == {slot}: v{slot} = stuck")
+            lane_body.append(f"    v{slot} = I[{slot}] & mask")
+            lane_body.append(f"    t = g({slot})")
+            lane_body.append(
                 f"    if t is not None: v{slot} = (v{slot} | t[0]) & t[1]"
             )
             unpack = "bits & 1" if slot == 0 else f"(bits >> {slot}) & 1"
@@ -230,37 +250,42 @@ class CompiledNetlist:
                 if gate.kind is GateKind.NOT
                 else _operand_expr(gate.kind, operands, "1")
             )
-            good_all.append(f"    v{slot} = {expr}")
+            good_body.append(f"    v{slot} = {expr}")
             step_good.append(f"    v{slot} = {step_expr}")
-            fault_all.append(f"    v{slot} = {expr}")
+            fault_body.append(f"    v{slot} = {expr}")
             step_fault.append(f"    v{slot} = {step_expr}")
-            lane_all.append(f"    v{slot} = {expr}")
+            lane_body.append(f"    v{slot} = {expr}")
             if gate.inputs:
                 hook = (
                     f"    if fg == {gate_index}: "
                     f"v{slot} = _refault({gate_index}, fp, stuck, {{m}}, ({', '.join(operands)},))"
                 )
-                fault_all.append(hook.format(m="mask"))
+                fault_body.append(hook.format(m="mask"))
                 step_fault.append(hook.format(m="1"))
-                lane_all.append(f"    e = br.get({gate_index})")
-                lane_all.append(
+                lane_body.append(f"    e = br.get({gate_index})")
+                lane_body.append(
                     f"    if e is not None: v{slot} = _lane_refault("
                     f"{gate_index}, e, mask, ({', '.join(operands)},), v{slot})"
                 )
-            fault_all.append(f"    if fs == {slot}: v{slot} = stuck")
+            fault_body.append(f"    if fs == {slot}: v{slot} = stuck")
             step_fault.append(f"    if fs == {slot}: v{slot} = stuck")
-            lane_all.append(f"    t = g({slot})")
-            lane_all.append(
+            lane_body.append(f"    t = g({slot})")
+            lane_body.append(
                 f"    if t is not None: v{slot} = (v{slot} | t[0]) & t[1]"
             )
-        good_all.append(return_all)
-        fault_all.append(return_all)
         step_good.append(return_packed)
         step_fault.append(return_packed)
-        lane_all.append(return_all)
-        return "\n".join(
-            good_all + fault_all + step_good + step_fault + lane_all
-        ) + "\n"
+        functions = (
+            ["def good_all(I, mask):"] + good_body + [return_all],
+            ["def good_out(I, mask):"] + good_body + [return_out],
+            ["def fault_all(I, mask, fs, stuck, fg, fp):"] + fault_body + [return_all],
+            ["def fault_out(I, mask, fs, stuck, fg, fp):"] + fault_body + [return_out],
+            step_good,
+            step_fault,
+            ["def lane_all(I, mask, so, br):"] + lane_body + [return_all],
+            ["def lane_out(I, mask, so, br):"] + lane_body + [return_out],
+        )
+        return "\n".join(line for body in functions for line in body) + "\n"
 
     # -- fault plumbing ------------------------------------------------------
 
@@ -342,8 +367,9 @@ class CompiledNetlist:
         fault_args: Tuple[int, int, int, int] = NO_FAULT,
     ) -> List[int]:
         """Marked-output values only, in output order."""
-        values = self.eval_list(packed_inputs, mask, fault_args)
-        return [values[slot] for slot in self.output_slots]
+        if fault_args == NO_FAULT:
+            return self._good_out(packed_inputs, mask)
+        return self._fault_out(packed_inputs, mask, *fault_args)
 
     def step(self, bits: int, fault_args: Tuple[int, int, int, int] = NO_FAULT) -> int:
         """Single-pattern kernel: packed input bits -> packed output bits."""
@@ -376,5 +402,6 @@ class CompiledNetlist:
         overrides=None,
     ) -> List[int]:
         """Marked-output lane words only, in output order."""
-        values = self.lane_eval(input_words, mask, overrides)
-        return [values[slot] for slot in self.output_slots]
+        if overrides is None:
+            return self._good_out(input_words, mask)
+        return self._lane_out(input_words, mask, overrides[0], overrides[1])

@@ -156,6 +156,11 @@ class Netlist:
     # -- structure queries ----------------------------------------------------
 
     @property
+    def frozen(self) -> bool:
+        """Whether the structure is sealed (and therefore compilable)."""
+        return self._frozen
+
+    @property
     def inputs(self) -> Tuple[str, ...]:
         if self._inputs_cache is not None:
             return self._inputs_cache

@@ -8,19 +8,25 @@ the spirit of synthesized complete-test suites: for a corpus of
 suite-registry machines and all four self-testable architectures it
 asserts that
 
-* every engine produces a **bit-identical** :class:`CoverageReport`
-  (dataclass equality: totals, per-block tallies, undetected-fault order),
+* every campaign engine produces a **bit-identical**
+  :class:`CoverageReport` (dataclass equality: totals, per-block tallies,
+  undetected-fault order),
+* every PPSFP engine -- interpreted walker, per-fault compiled kernels,
+  lane-superposed kernel, and the persistent worker pool -- produces a
+  **bit-identical** :class:`CombinationalCoverage` on each machine's
+  exhaustively driven combinational block,
 * compiled self-test sessions produce the **same MISR signatures** as the
   seed interpreted loops, fault by fault,
-* seeded campaigns match the **golden regression files** under
-  ``tests/golden/`` (per-fault verdicts + fault-free signatures), so an
-  engine refactor cannot silently change a verdict.  Regenerate the files
-  with ``pytest tests/test_differential.py --update-golden`` after an
-  *intentional* semantic change.
+* seeded campaigns and PPSFP runs match the **golden regression files**
+  under ``tests/golden/`` (per-fault verdicts + fault-free signatures),
+  so an engine refactor cannot silently change a verdict.  Regenerate the
+  files with ``pytest tests/test_differential.py --update-golden`` after
+  an *intentional* semantic change.
 
 CI runs this module across a seed matrix: ``REPRO_DIFF_SEED`` moves the
-campaign seed and ``REPRO_DIFF_WORKERS`` sizes the chunk-steal scheduler
-(the golden cases pin their own seed and are matrix-invariant).
+campaign seed, ``REPRO_DIFF_WORKERS`` sizes the chunk-steal scheduler and
+``REPRO_DIFF_POOL`` sizes the persistent worker pool (the golden cases
+pin their own seed and are matrix-invariant).
 """
 
 from __future__ import annotations
@@ -39,14 +45,38 @@ from repro.bist.architectures import (
     build_pipeline,
 )
 from repro.faults.coverage import measure_coverage
+from repro.faults.pool import CampaignPool
+from repro.faults.simulator import exhaustive_patterns, simulate_patterns
 from repro.ostr.search import search_ostr
 
 SEED = int(os.environ.get("REPRO_DIFF_SEED", "3"))
 WORKERS = int(os.environ.get("REPRO_DIFF_WORKERS", "2"))
+POOL_WORKERS = int(os.environ.get("REPRO_DIFF_POOL", "2"))
 CYCLES = 48
 
 MACHINES = ("shiftreg", "tav", "dk27", "bbtas")
 ARCHITECTURES = ("conventional", "parallel", "doubled", "pipeline")
+
+_POOL = None
+
+
+def _pool() -> CampaignPool:
+    """One persistent pool for every pooled cell of the matrix (that IS the
+    differential point: many campaigns over the same long-lived workers)."""
+    global _POOL
+    if _POOL is None:
+        _POOL = CampaignPool(max(1, POOL_WORKERS))
+    return _POOL
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _close_pool():
+    yield
+    global _POOL
+    if _POOL is not None:
+        _POOL.close()
+        _POOL = None
+
 
 #: engine label -> campaign thunk; "interpreted" is the differential baseline.
 ENGINES = {
@@ -62,6 +92,9 @@ ENGINES = {
     ),
     "workers": lambda c, seed: measure_coverage(
         c, cycles=CYCLES, seed=seed, workers=WORKERS, dropping=True
+    ),
+    "pooled": lambda c, seed: measure_coverage(
+        c, cycles=CYCLES, seed=seed, dropping=True, pool=_pool()
     ),
 }
 
@@ -187,5 +220,105 @@ def test_golden_signatures(name, architecture, update_golden):
     stored = json.loads(path.read_text(encoding="utf-8"))
     assert payload == stored, (
         f"campaign verdicts drifted from {path.name}; if the change is "
+        "intentional, regenerate with --update-golden"
+    )
+
+
+# -- PPSFP axis: pattern-set fault simulation across all engines -------------
+
+#: block label -> netlist extractor on a built controller corpus.
+PPSFP_BLOCKS = {
+    "conventional-C": lambda name: _controller(name, "conventional").plain.network,
+    "pipeline-C1": lambda name: _controller(name, "pipeline").c1,
+    "pipeline-lambda": lambda name: _controller(name, "pipeline").lambda_net,
+}
+
+PPSFP_ENGINE_THUNKS = {
+    "interpreted": lambda n, p: simulate_patterns(n, p, engine="interpreted"),
+    "compiled": lambda n, p: simulate_patterns(n, p, engine="compiled"),
+    "superposed": lambda n, p: simulate_patterns(n, p, engine="superposed"),
+    "pooled": lambda n, p: simulate_patterns(n, p, pool=_pool()),
+}
+
+_PPSFP_BASELINES = {}
+
+
+def _ppsfp_case(name: str, block: str):
+    network = PPSFP_BLOCKS[block](name)
+    return network, exhaustive_patterns(len(network.inputs))
+
+
+def _ppsfp_baseline(name: str, block: str):
+    key = (name, block)
+    if key not in _PPSFP_BASELINES:
+        network, patterns = _ppsfp_case(name, block)
+        _PPSFP_BASELINES[key] = PPSFP_ENGINE_THUNKS["interpreted"](
+            network, patterns
+        )
+    return _PPSFP_BASELINES[key]
+
+
+@pytest.mark.parametrize("block", sorted(PPSFP_BLOCKS))
+@pytest.mark.parametrize("name", MACHINES)
+@pytest.mark.parametrize(
+    "engine", [label for label in PPSFP_ENGINE_THUNKS if label != "interpreted"]
+)
+def test_ppsfp_engines_bit_identical(name, block, engine):
+    """Every PPSFP engine's CombinationalCoverage equals the walker oracle's."""
+    network, patterns = _ppsfp_case(name, block)
+    outcome = PPSFP_ENGINE_THUNKS[engine](network, patterns)
+    assert outcome == _ppsfp_baseline(name, block), (
+        f"PPSFP engine {engine} diverged from the interpreted oracle on "
+        f"{name}/{block}"
+    )
+
+
+# -- golden combinational-coverage files -------------------------------------
+
+PPSFP_GOLDEN_CASES = (
+    ("dk27", "conventional-C"),
+    ("tav", "pipeline-C1"),
+    ("bbtas", "pipeline-lambda"),
+    ("shiftreg", "conventional-C"),
+)
+
+
+def _ppsfp_golden_payload(name: str, block: str) -> dict:
+    """Exhaustive PPSFP run -> JSON-stable per-fault verdicts."""
+    network, patterns = _ppsfp_case(name, block)
+    outcome = simulate_patterns(network, patterns)
+    undetected = {fault.describe() for fault in outcome.undetected}
+    from repro.faults.stuck_at import all_faults
+
+    return {
+        "machine": name,
+        "block": block,
+        "netlist": outcome.netlist,
+        "n_patterns": outcome.n_patterns,
+        "total": outcome.total,
+        "detected": outcome.detected,
+        "verdicts": [
+            [fault.describe(), fault.describe() not in undetected]
+            for fault in all_faults(network)
+        ],
+    }
+
+
+@pytest.mark.parametrize("name,block", PPSFP_GOLDEN_CASES)
+def test_golden_combinational_coverage(name, block, update_golden):
+    """PPSFP kernel refactors cannot silently change pattern-set verdicts."""
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    path = GOLDEN_DIR / f"ppsfp_{name}_{block}.json"
+    payload = _ppsfp_golden_payload(name, block)
+    if update_golden:
+        path.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+        return
+    assert path.exists(), (
+        f"golden file {path.name} missing -- generate it with "
+        "`pytest tests/test_differential.py --update-golden`"
+    )
+    stored = json.loads(path.read_text(encoding="utf-8"))
+    assert payload == stored, (
+        f"PPSFP verdicts drifted from {path.name}; if the change is "
         "intentional, regenerate with --update-golden"
     )

@@ -1,0 +1,227 @@
+"""Lifecycle and determinism tests for the persistent campaign pool.
+
+Covers the contract of :class:`repro.faults.pool.CampaignPool`:
+
+* deterministic merge: pooled campaigns are bit-identical to the serial
+  oracle, including across two successive campaigns on one pool (the
+  reuse path, where workers serve from their subject/state caches),
+* capacity slabbing: fault universes larger than the shared outcome
+  array process in slabs with identical reports,
+* an exception inside a job propagates its traceback and leaves the
+  worker alive (no respawn needed),
+* a worker *crash* (hard ``os._exit``) propagates a diagnostic and the
+  pool self-heals by respawning the dead worker,
+* ``close()`` twice and any use after ``close()`` raise cleanly.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.faults import CampaignPool, measure_coverage, simulate_patterns
+from repro.faults.coverage import measure_coverage as serial_measure
+from repro.faults.simulator import exhaustive_patterns
+from repro.netlist.netlist import Fault
+from repro.suite import shift_register
+from repro.bist import build_conventional_bist
+
+CYCLES = 32
+SEED = 5
+
+
+class _ExplodingController:
+    """A picklable controller whose campaign state raises (soft failure)."""
+
+    def fault_universe(self):
+        return [("C", Fault(net="x", stuck_at=s)) for s in (0, 1)] * 4
+
+    def self_test_signatures(self, fault=None, cycles=None, seed=1, **_options):
+        raise ValueError("boom: exploding controller")
+
+
+class _CrashingController:
+    """A picklable controller that kills its worker process outright."""
+
+    def fault_universe(self):
+        return [("C", Fault(net="x", stuck_at=s)) for s in (0, 1)] * 4
+
+    def self_test_signatures(self, fault=None, cycles=None, seed=1, **_options):
+        os._exit(13)
+
+
+@pytest.fixture(scope="module")
+def controller():
+    return build_conventional_bist(shift_register(2))
+
+
+@pytest.fixture(scope="module")
+def oracle(controller):
+    return serial_measure(controller, cycles=CYCLES, seed=SEED)
+
+
+@pytest.fixture()
+def pool():
+    with CampaignPool(2) as instance:
+        yield instance
+
+
+class TestDeterminism:
+    def test_pooled_campaign_matches_serial_oracle(self, pool, controller, oracle):
+        report = measure_coverage(
+            controller, cycles=CYCLES, seed=SEED, dropping=True, pool=pool
+        )
+        assert report == oracle
+
+    def test_merge_holds_across_two_campaigns_with_reuse(
+        self, pool, controller, oracle
+    ):
+        first = measure_coverage(
+            controller, cycles=CYCLES, seed=SEED, dropping=True, pool=pool
+        )
+        assert pool.stats["reuse_hits"] == 0
+        second = measure_coverage(
+            controller, cycles=CYCLES, seed=SEED, dropping=True, pool=pool
+        )
+        assert first == second == oracle
+        # the second campaign found the controller already cached
+        assert pool.stats["reuse_hits"] > 0
+        assert pool.stats["campaigns"] == 2
+
+    def test_capacity_slabbing_is_invisible(self, controller, oracle):
+        universe = controller.fault_universe()
+        with CampaignPool(2, capacity=7) as tiny:
+            report = measure_coverage(
+                controller, cycles=CYCLES, seed=SEED, dropping=True, pool=tiny
+            )
+            assert len(universe) > 7  # the test actually slabs
+            assert report == oracle
+
+    def test_explicit_fault_subset(self, pool, controller):
+        universe = controller.fault_universe()
+        subset = universe[:: max(1, len(universe) // 10)]
+        from repro.faults.engine import run_campaign
+
+        expected = run_campaign(
+            controller, cycles=CYCLES, seed=SEED, faults=subset
+        )
+        pooled = run_campaign(
+            controller, cycles=CYCLES, seed=SEED, faults=subset, pool=pool
+        )
+        assert pooled == expected
+
+    def test_pooled_ppsfp_matches_in_process(self, pool, controller):
+        network = controller.plain.network
+        patterns = exhaustive_patterns(len(network.inputs))
+        local = simulate_patterns(network, patterns)
+        pooled = simulate_patterns(network, patterns, pool=pool)
+        assert pooled == local
+        assert pool.stats["ppsfp"] == 1
+
+    def test_subject_cache_eviction_is_coordinated(self):
+        """Sweeping more subjects than the per-worker cache bound works,
+        and a subject evicted under LRU pressure transparently re-ships."""
+        from repro.faults import pool as pool_module
+        from repro.netlist import GateKind, Netlist
+
+        def tiny_netlist(index):
+            netlist = Netlist(f"tiny{index}")
+            netlist.add_input("a")
+            netlist.add_input("b")
+            kind = (GateKind.AND, GateKind.OR, GateKind.XOR)[index % 3]
+            netlist.add_gate(kind, "y", ["a", "b"])
+            netlist.mark_output("y")
+            return netlist.freeze()
+
+        subjects = [
+            tiny_netlist(index)
+            for index in range(pool_module._SUBJECT_CACHE_LIMIT + 3)
+        ]
+        patterns = exhaustive_patterns(2)
+        expected = [simulate_patterns(net, patterns) for net in subjects]
+        with CampaignPool(1) as pool:
+            first = [
+                simulate_patterns(net, patterns, pool=pool) for net in subjects
+            ]
+            # the first subject has been evicted by now; using it again
+            # must re-ship and still agree
+            again = simulate_patterns(subjects[0], patterns, pool=pool)
+        assert first == expected
+        assert again == expected[0]
+
+    def test_pooled_ppsfp_rejects_interpreted_engine(self, pool, controller):
+        """The pool has no interpreted job kind; asking for the oracle
+        through it must fail loudly instead of silently running compiled."""
+        from repro.exceptions import FaultError
+
+        network = controller.plain.network
+        with pytest.raises(FaultError, match="interpreted"):
+            simulate_patterns(
+                network, ["0" * len(network.inputs)], engine="interpreted",
+                pool=pool,
+            )
+
+
+class TestFailurePropagation:
+    def test_job_exception_propagates_traceback(self, pool, controller, oracle):
+        with pytest.raises(ReproError) as excinfo:
+            measure_coverage(
+                _ExplodingController(), cycles=CYCLES, seed=SEED,
+                dropping=True, pool=pool,
+            )
+        message = str(excinfo.value)
+        assert "boom: exploding controller" in message
+        assert "ValueError" in message
+        # soft failures do not kill workers -- no respawn, pool still serves
+        assert pool.stats["respawns"] == 0
+        report = measure_coverage(
+            controller, cycles=CYCLES, seed=SEED, dropping=True, pool=pool
+        )
+        assert report == oracle
+
+    def test_worker_crash_self_heals(self, pool, controller, oracle):
+        with pytest.raises(ReproError) as excinfo:
+            measure_coverage(
+                _CrashingController(), cycles=CYCLES, seed=SEED,
+                dropping=True, pool=pool,
+            )
+        assert "died" in str(excinfo.value)
+        # the next campaign respawns the dead workers and still merges
+        # deterministically
+        report = measure_coverage(
+            controller, cycles=CYCLES, seed=SEED, dropping=True, pool=pool
+        )
+        assert report == oracle
+        assert pool.stats["respawns"] >= 1
+
+
+class TestLifecycle:
+    def test_double_close_raises(self):
+        pool = CampaignPool(1)
+        pool.close()
+        with pytest.raises(ReproError, match="closed"):
+            pool.close()
+
+    def test_use_after_close_raises(self, controller):
+        pool = CampaignPool(1)
+        pool.close()
+        with pytest.raises(ReproError, match="closed"):
+            measure_coverage(
+                controller, cycles=CYCLES, seed=SEED, dropping=True, pool=pool
+            )
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ReproError):
+            CampaignPool(0)
+        with pytest.raises(ReproError):
+            CampaignPool(1, capacity=0)
+
+    def test_context_manager_closes(self, controller):
+        with CampaignPool(1) as pool:
+            measure_coverage(
+                controller, cycles=CYCLES, seed=SEED, dropping=True, pool=pool
+            )
+        with pytest.raises(ReproError, match="closed"):
+            pool.close()
