@@ -15,6 +15,12 @@ the optimised results are bit-identical to the reference paths:
   combinational block -- the serial interpreted walker (the oracle)
   versus the per-fault compiled kernels versus the lane-superposed PPSFP
   kernel (one fault per bit lane on top of the pattern packing);
+* **collapse**: the same full campaign with and without equivalence
+  fault collapsing -- the collapsed run schedules one representative per
+  structural equivalence class (typically 40-60% fewer faults) and
+  expands the verdicts back, so the reports must stay field-for-field
+  identical while the wall clock drops multiplicatively on top of
+  dropping/superposition;
 * **pool-reuse**: a sweep of repeated campaigns -- fresh chunk-steal
   worker processes forked per campaign versus one persistent
   ``CampaignPool`` whose workers keep the controller compiled and its
@@ -49,7 +55,7 @@ from repro.bist.architectures import (  # noqa: E402
     build_pipeline,
 )
 from repro.faults.coverage import measure_coverage  # noqa: E402
-from repro.faults.engine import run_campaign  # noqa: E402
+from repro.faults.engine import CAMPAIGN_STATS, run_campaign  # noqa: E402
 from repro.faults.pool import CampaignPool  # noqa: E402
 from repro.faults.simulator import (  # noqa: E402
     exhaustive_patterns,
@@ -160,6 +166,38 @@ def bench_ppsfp(name: str) -> dict:
     }
 
 
+def bench_collapse(name: str) -> dict:
+    """Full pipeline campaign, uncollapsed vs equivalence-collapsed.
+
+    Both runs use the full engine (dropping + superposed fallbacks); the
+    A/B difference is purely the scheduled universe -- all faults versus
+    one representative per equivalence class with verdicts expanded back.
+    ``identical`` asserts the field-for-field report equality the
+    collapse layer guarantees.
+    """
+    machine = suite.load(name)
+    controller = build_pipeline(search_ostr(machine).realization())
+    baseline, baseline_s = _timed(lambda: run_campaign(controller, dropping=True))
+    collapsed, collapsed_s = _timed(
+        lambda: run_campaign(controller, dropping=True, collapse="equiv")
+    )
+    stats = CAMPAIGN_STATS["collapse"]
+    return {
+        "bench": f"collapse/{name}/pipeline-equiv",
+        "faults": baseline.total,
+        "scheduled": stats["scheduled"],
+        "classes": stats["classes"],
+        "reduction": stats["reduction"],
+        "coverage": round(baseline.coverage, 6),
+        "baseline_s": round(baseline_s, 4),
+        "optimized_s": round(collapsed_s, 4),
+        "speedup": (
+            round(baseline_s / collapsed_s, 2) if collapsed_s else float("inf")
+        ),
+        "identical": collapsed == baseline,
+    }
+
+
 def bench_pool_reuse(names, workers: int, rounds: int = 2, pipelines: bool = True) -> dict:
     """Campaign sweep: fresh workers per campaign vs one persistent pool.
 
@@ -263,6 +301,7 @@ def main(argv=None) -> int:
         pool_case = dict(
             names=("shiftreg", "tav", "dk27"), workers=2, pipelines=False
         )
+        collapse_name = "dk27"
     else:
         coverage_cases = [
             ("dk27", "conventional"),
@@ -274,6 +313,7 @@ def main(argv=None) -> int:
         pool_case = dict(
             names=("shiftreg", "tav", "dk27", "bbtas"), workers=2
         )
+        collapse_name = "dk14"
 
     results = []
     for name, architecture in coverage_cases:
@@ -299,6 +339,15 @@ def main(argv=None) -> int:
         f"patterns, {ppsfp['baseline_s']:.2f}s -> {ppsfp['optimized_s']:.2f}s "
         f"(x{ppsfp['speedup']} vs oracle, x{ppsfp['speedup_vs_compiled']} vs "
         f"compiled, identical={ppsfp['identical']})"
+    )
+    collapse = bench_collapse(collapse_name)
+    results.append(collapse)
+    print(
+        f"{collapse['bench']}: {collapse['faults']} faults -> "
+        f"{collapse['scheduled']} scheduled "
+        f"({100.0 * collapse['reduction']:.1f}% fewer), "
+        f"{collapse['baseline_s']:.2f}s -> {collapse['optimized_s']:.2f}s "
+        f"(x{collapse['speedup']}, identical={collapse['identical']})"
     )
     pool_reuse = bench_pool_reuse(**pool_case)
     results.append(pool_reuse)

@@ -19,6 +19,9 @@ Every architecture exposes the same protocol used by the fault-coverage
 machinery:
 
 * ``fault_universe()``: list of ``(block, Fault)`` pairs,
+* ``fault_blocks()``: block label -> underlying :class:`Netlist` (``None``
+  for architecture-level pseudo-nets), which is what lets
+  :mod:`repro.faults.collapse` build per-block equivalence classes,
 * ``self_test_signatures(fault=(block, Fault) | None)``: deterministic
   signature tuple of the full self-test,
 * ``system_step(...)`` / behavioural verification hooks,
@@ -291,6 +294,11 @@ class ConventionalBistController:
         faults.extend(("FEEDBACK", f) for f in self.feedback_faults())
         return faults
 
+    def fault_blocks(self) -> Dict[str, Optional[Netlist]]:
+        """Block -> netlist; FEEDBACK is architecture-level (no netlist),
+        so its pseudo-stem faults never collapse."""
+        return {"C": self.plain.network, "FEEDBACK": None}
+
     def feedback_faults(self) -> List[Fault]:
         """Stuck-ats on the R -> T lines (drawback 3 of the paper).
 
@@ -476,6 +484,9 @@ class ParallelSelfTestController:
 
     def fault_universe(self) -> List[BlockFault]:
         return [("C", f) for f in all_faults(self.plain.network)]
+
+    def fault_blocks(self) -> Dict[str, Optional[Netlist]]:
+        return {"C": self.plain.network}
 
     def self_test_signatures(
         self,
@@ -699,6 +710,11 @@ class DoubledController:
         base = all_faults(self.plain.network)
         return [("C_a", f) for f in base] + [("C_b", f) for f in base]
 
+    def fault_blocks(self) -> Dict[str, Optional[Netlist]]:
+        """Both copies share one synthesized netlist, but their faults are
+        distinct physical faults: classes never merge across blocks."""
+        return {"C_a": self.plain.network, "C_b": self.plain.network}
+
     def self_test_signatures(
         self,
         fault: Optional[BlockFault] = None,
@@ -900,6 +916,9 @@ class PipelineController:
             + [("C2", f) for f in all_faults(self.c2)]
             + [("LAMBDA", f) for f in all_faults(self.lambda_net)]
         )
+
+    def fault_blocks(self) -> Dict[str, Optional[Netlist]]:
+        return {"C1": self.c1, "C2": self.c2, "LAMBDA": self.lambda_net}
 
     # -- self-test -------------------------------------------------------------------
 

@@ -144,9 +144,26 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
                     chunk_size=args.chunk_size,
                     pool=pool,
                     engine=args.engine,
+                    collapse=args.collapse,
                 )
             )
         )
+        if args.collapse != "none":
+            from .faults.engine import CAMPAIGN_STATS
+
+            stats = CAMPAIGN_STATS.get("collapse")
+            if stats:
+                note = (
+                    "verdicts expanded back to the full universe"
+                    if stats["mode"] == "equiv"
+                    else "reported universe is the kept representatives"
+                )
+                print(
+                    f"collapse (pipeline campaign): mode {stats['mode']}, "
+                    f"{stats['universe']} faults -> {stats['scheduled']} "
+                    f"scheduled ({100.0 * stats['reduction']:.1f}% fewer, "
+                    f"{stats['classes']} classes); {note}"
+                )
         if args.workers > 1 or pool is not None:
             from .faults.engine import CAMPAIGN_STATS
 
@@ -352,6 +369,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="serve all campaigns and PPSFP screens from N persistent "
         "worker processes (compiled state reused across campaigns)",
+    )
+    coverage.add_argument(
+        "--collapse",
+        choices=("none", "equiv", "dominance"),
+        default="none",
+        help="structural fault collapsing: 'equiv' schedules one "
+        "representative per equivalence class and expands the verdicts "
+        "back (identical report, 40-60%% fewer simulated faults); "
+        "'dominance' also drops dominated classes (smaller reported "
+        "universe, opt-in)",
     )
     coverage.add_argument(
         "--engine",

@@ -272,17 +272,21 @@ def run_coverage(
     chunk_size: Optional[int] = None,
     pool=None,
     engine: str = "compiled",
+    collapse: str = "none",
 ) -> List[CoverageRow]:
     """Measure self-test stuck-at coverage of Figures 2-4 on one machine.
 
     ``workers``/``dropping``/``superpose``/``chunk_size`` select the
     campaign engine of :mod:`repro.faults.engine`; the reports are
     bit-identical to the serial oracle either way, so these are pure
-    wall-clock knobs.  ``pool`` (a
-    :class:`~repro.faults.pool.CampaignPool`) runs all four campaigns --
-    and the PPSFP redundancy screens -- over the same persistent workers,
-    the sweep shape the pool exists for; ``engine="interpreted"`` selects
-    the seed dict-keyed session loops as the oracle.
+    wall-clock knobs -- as is ``collapse="equiv"``, which schedules one
+    representative per structural equivalence class and expands the
+    verdicts back (``"dominance"`` shrinks the *reported* universe and is
+    opt-in).  ``pool`` (a :class:`~repro.faults.pool.CampaignPool`) runs
+    all four campaigns -- and the PPSFP redundancy screens -- over the
+    same persistent workers, the sweep shape the pool exists for;
+    ``engine="interpreted"`` selects the seed dict-keyed session loops as
+    the oracle.
     """
     result = search_ostr(machine)
     realization = result.realization()
@@ -307,6 +311,7 @@ def run_coverage(
             chunk_size=chunk_size,
             pool=pool,
             engine=engine,
+            collapse=collapse,
         )
         redundant = _redundant_fault_count(controller, pool=pool)
         detectable = report.total - redundant

@@ -1,6 +1,12 @@
-"""Single-stuck-at fault model, fault simulation, and BIST coverage."""
+"""Single-stuck-at fault model, collapsing, simulation, and BIST coverage."""
 
 from .stuck_at import all_faults, branch_faults, collapse_trivial, stem_faults
+from .collapse import (
+    COLLAPSE_MODES,
+    FaultMap,
+    dominated_classes,
+    equivalence_classes,
+)
 from .simulator import (
     CombinationalCoverage,
     detects,
@@ -14,12 +20,16 @@ from .pool import CampaignPool
 
 __all__ = [
     "CampaignPool",
+    "COLLAPSE_MODES",
+    "FaultMap",
     "LinearCompactor",
     "run_campaign",
     "stem_faults",
     "branch_faults",
     "all_faults",
     "collapse_trivial",
+    "equivalence_classes",
+    "dominated_classes",
     "pack_patterns",
     "detects",
     "simulate_patterns",

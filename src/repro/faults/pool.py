@@ -53,6 +53,7 @@ from multiprocessing import connection as mp_connection
 from typing import Dict, List, Optional, Sequence
 
 from ..exceptions import ReproError
+from .collapse import FaultMap
 from .simulator import _ppsfp_chunk_flags, _ppsfp_state
 from .stuck_at import all_faults
 
@@ -81,7 +82,11 @@ def _job_universe(job: Dict[str, object], subject) -> List:
     Explicit fault lists travel in the job; the default universe is
     recomputed from the cached subject (``fault_universe()`` /
     :func:`all_faults` are deterministic), which keeps repeat jobs free of
-    per-campaign pickling.
+    per-campaign pickling.  Collapsed jobs recompute the representative
+    sequence the same way -- class ids are deterministic in the canonical
+    fault order and the collapse tables are cached per (worker-cached)
+    subject netlist, so the parent never ships the collapsed list and the
+    worker's slice matches the parent's expansion map exactly.
     """
     if job["faults"] is not None:
         return job["faults"]
@@ -89,6 +94,17 @@ def _job_universe(job: Dict[str, object], subject) -> List:
         universe = subject.fault_universe()
     else:
         universe = all_faults(subject)
+    collapse = job.get("collapse", "none")
+    if collapse != "none":
+        if job["kind"] == "campaign":
+            fault_map = FaultMap.for_controller(
+                subject, faults=universe, mode=collapse
+            )
+        else:
+            fault_map = FaultMap.for_netlist(
+                subject, faults=universe, mode=collapse
+            )
+        universe = fault_map.representatives
     return universe[job["offset"] : job["offset"] + job["count"]]
 
 
@@ -598,13 +614,15 @@ class CampaignPool:
         superpose: bool,
         chunk_size: Optional[int],
         options: Dict[str, object],
+        collapse: str = "none",
     ) -> List[int]:
         """Outcome codes of one fault-simulation campaign (engine protocol).
 
         Called by :func:`repro.faults.engine.run_campaign` with the
         controller's canonical fault order; ``faults`` is the explicit
         list when the caller restricted the universe, else ``None`` and
-        workers recompute ``fault_universe()`` from their cached subject.
+        workers recompute ``fault_universe()`` -- applying ``collapse``
+        to it deterministically -- from their cached subject.
         """
         token = (
             "campaign",
@@ -619,6 +637,7 @@ class CampaignPool:
             "dropping": bool(dropping),
             "superpose": bool(superpose),
             "options": options,
+            "collapse": collapse,
             "token": token,
         }
         return self._run("campaign", controller, total, faults, job_base, chunk_size)
@@ -631,6 +650,7 @@ class CampaignPool:
         total: int,
         engine: str = "superposed",
         chunk_size: Optional[int] = None,
+        collapse: str = "none",
     ) -> List[int]:
         """Per-fault detection flags of one PPSFP pattern-set simulation."""
         patterns = list(patterns)
@@ -638,6 +658,7 @@ class CampaignPool:
         job_base = {
             "patterns": patterns,
             "engine": engine,
+            "collapse": collapse,
             "token": ("ppsfp", len(patterns), digest),
         }
         return self._run("ppsfp", netlist, total, faults, job_base, chunk_size)

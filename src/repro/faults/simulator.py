@@ -28,7 +28,11 @@ Three engines share the verdicts bit for bit:
 
 ``simulate_patterns(..., pool=...)`` fans the fault universe out over a
 persistent :class:`~repro.faults.pool.CampaignPool`, whose workers cache
-the compiled netlist and packed pattern streams across requests.
+the compiled netlist and packed pattern streams across requests;
+``collapse="equiv"`` additionally packs only one representative per
+structural equivalence class into the lanes and expands the verdicts back
+(:mod:`repro.faults.collapse`), shrinking the scheduled universe with a
+field-for-field identical result.
 
 Equivalence across all engines (and the pool) is enforced by
 ``tests/test_prop_ppsfp.py`` and the PPSFP axis of
@@ -42,6 +46,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import FaultError
 from ..netlist.netlist import Fault, Netlist
+from .collapse import COLLAPSE_MODES, FaultMap
 from .stuck_at import all_faults
 
 #: bit budget of one superposed PPSFP evaluation.  Each pass packs
@@ -242,6 +247,7 @@ def simulate_patterns(
     faults: Optional[Sequence[Fault]] = None,
     engine: str = "superposed",
     pool=None,
+    collapse: str = "none",
 ) -> CombinationalCoverage:
     """Fault coverage of an explicit pattern set on a combinational block.
 
@@ -252,13 +258,28 @@ def simulate_patterns(
     path.  ``pool`` fans the fault universe out over a persistent
     :class:`~repro.faults.pool.CampaignPool` whose workers keep the
     compiled netlist and packed pattern streams cached across requests.
+    ``collapse="equiv"`` simulates one representative per structural
+    equivalence class (:mod:`repro.faults.collapse`) and expands the
+    per-class verdicts back -- the :class:`CombinationalCoverage` is
+    field-for-field identical to the uncollapsed run; ``"dominance"``
+    reports over the kept representatives only (smaller universe).
     """
     if engine not in PPSFP_ENGINES:
         raise FaultError(
             f"unknown PPSFP engine {engine!r}; expected one of {PPSFP_ENGINES}"
         )
+    if collapse not in COLLAPSE_MODES:
+        raise FaultError(
+            f"unknown collapse mode {collapse!r}; expected one of "
+            f"{COLLAPSE_MODES}"
+        )
     explicit = faults is not None
     universe: List[Fault] = list(all_faults(netlist) if faults is None else faults)
+    fault_map = None
+    schedule = universe
+    if collapse != "none":
+        fault_map = FaultMap.for_netlist(netlist, faults=universe, mode=collapse)
+        schedule = fault_map.representatives
     if pool is not None:
         if not netlist.frozen:
             raise FaultError(
@@ -279,18 +300,24 @@ def simulate_patterns(
         flags = pool.ppsfp_flags(
             netlist,
             patterns,
-            universe if explicit else None,
-            total=len(universe),
+            schedule if explicit else None,
+            total=len(schedule),
             engine=engine,
+            collapse=collapse,
         )
     else:
         packed, mask = pack_patterns(patterns, netlist.inputs)
         if engine == "interpreted" or not netlist.frozen:
-            flags = _interpreted_flags(netlist, packed, mask, universe)
+            flags = _interpreted_flags(netlist, packed, mask, schedule)
         else:
             flags = _ppsfp_chunk_flags(
-                _ppsfp_state(netlist, patterns, packed, mask), universe, engine
+                _ppsfp_state(netlist, patterns, packed, mask), schedule, engine
             )
+    if fault_map is not None:
+        if collapse == "equiv":
+            flags = fault_map.expand(flags)
+        else:
+            universe = schedule  # dominance reports over the kept faults
     undetected = tuple(fault for fault, flag in zip(universe, flags) if not flag)
     return CombinationalCoverage(
         netlist=netlist.name,

@@ -7,10 +7,15 @@ The fault list is the classic uncollapsed single-stuck-at model:
 * a branch fault on every gate input pin, which is what makes fanout
   branches independently testable.
 
-Fault collapsing (equivalence/dominance) is deliberately not applied: the
-coverage numbers in the benches are over the raw universe, which keeps
-them conservative and easy to audit.  :func:`collapse_trivial` is provided
-for the tests and benches that want the cheap single-fanout collapse.
+This raw universe is what the paper's coverage tables are defined over.
+Structural collapsing lives in :mod:`repro.faults.collapse`: *equivalence*
+collapsing is verdict-preserving -- campaigns schedule one representative
+per class and expand the verdicts back, so reports stay field-for-field
+identical to the uncollapsed oracle -- while *dominance* collapsing
+changes the reported universe and is therefore opt-in.
+:func:`collapse_trivial` remains as the cheap single-fanout subset of the
+equivalence rules (primary-output nets are observation points and never
+collapse their branches).
 """
 
 from __future__ import annotations
@@ -45,14 +50,24 @@ def all_faults(netlist: Netlist) -> List[Fault]:
 
 
 def collapse_trivial(netlist: Netlist, faults: List[Fault]) -> List[Fault]:
-    """Drop branch faults on single-fanout nets (equivalent to their stems)."""
+    """Drop branch faults on single-fanout nets (equivalent to their stems).
+
+    A net that also drives a primary output is an observation point: its
+    stem is directly visible there while the lone branch is not, so the
+    two are *not* equivalent and the branch is kept.
+    """
+    outputs = set(netlist.outputs)
     fanout: Dict[str, int] = {}
     for gate in netlist.gates:
         for net in gate.inputs:
             fanout[net] = fanout.get(net, 0) + 1
     kept = []
     for fault in faults:
-        if not fault.is_stem and fanout.get(fault.net, 0) <= 1:
+        if (
+            not fault.is_stem
+            and fanout.get(fault.net, 0) <= 1
+            and fault.net not in outputs
+        ):
             continue
         kept.append(fault)
     return kept

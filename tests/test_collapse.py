@@ -1,0 +1,279 @@
+"""Structural fault collapsing: soundness properties and the PO bugfix.
+
+The load-bearing claims of :mod:`repro.faults.collapse`:
+
+* equivalence classes **partition** the canonical fault universe,
+* every member of a class receives the **identical detect flag** on any
+  pattern set (the property the old ``collapse_trivial`` violated on
+  primary-output nets -- hypothesis hammers exactly that corner because
+  the netlists here mark arbitrary net subsets as outputs),
+* collapsed ``simulate_patterns`` / ``measure_coverage`` are
+  field-for-field identical to the uncollapsed runs,
+* dominance only ever shrinks the kept universe and is never expanded.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.exceptions import FaultError, ReproError
+from repro.faults import all_faults, collapse_trivial
+from repro.faults.collapse import (
+    COLLAPSE_MODES,
+    FaultMap,
+    dominated_classes,
+    equivalence_classes,
+)
+from repro.faults.coverage import measure_coverage
+from repro.faults.simulator import simulate_patterns
+from repro.netlist import Fault, GateKind, Netlist
+
+_KINDS = (GateKind.AND, GateKind.OR, GateKind.XOR, GateKind.NOT, GateKind.BUF)
+
+
+@st.composite
+def random_netlists(draw, max_inputs=4, max_gates=8):
+    """Random frozen netlists whose outputs are an arbitrary net subset.
+
+    Unlike the suffix-marking strategy of ``test_prop_netlist``, any net
+    (including primary inputs and internal single-fanout nets) may be an
+    output -- that is the corner where stem/branch equivalence breaks.
+    """
+    n_inputs = draw(st.integers(min_value=1, max_value=max_inputs))
+    n_gates = draw(st.integers(min_value=1, max_value=max_gates))
+    netlist = Netlist("hyp-collapse")
+    nets = []
+    for position in range(n_inputs):
+        nets.append(netlist.add_input(f"i{position}"))
+    for position in range(n_gates):
+        kind = draw(st.sampled_from(_KINDS))
+        if kind in (GateKind.NOT, GateKind.BUF):
+            operands = [nets[draw(st.integers(0, len(nets) - 1))]]
+        else:
+            count = draw(st.integers(min_value=1, max_value=3))
+            operands = [
+                nets[draw(st.integers(0, len(nets) - 1))] for _ in range(count)
+            ]
+        nets.append(netlist.add_gate(kind, f"g{position}", operands))
+    marked = draw(
+        st.lists(
+            st.integers(0, len(nets) - 1), min_size=1, max_size=4, unique=True
+        )
+    )
+    for position in sorted(marked):
+        netlist.mark_output(nets[position])
+    return netlist.freeze()
+
+
+@st.composite
+def netlist_with_patterns(draw):
+    netlist = draw(random_netlists())
+    n_patterns = draw(st.integers(min_value=1, max_value=8))
+    patterns = [
+        "".join(str(draw(st.integers(0, 1))) for _ in netlist.inputs)
+        for _ in range(n_patterns)
+    ]
+    return netlist, patterns
+
+
+# -- equivalence-class properties --------------------------------------------
+
+
+@given(random_netlists())
+def test_classes_partition_the_universe(netlist):
+    """Every canonical fault has exactly one dense class id."""
+    class_of = equivalence_classes(netlist)
+    universe = all_faults(netlist)
+    assert set(class_of) == set(universe)
+    ids = sorted(set(class_of.values()))
+    assert ids == list(range(len(ids)))  # dense, 0-based
+
+
+@given(netlist_with_patterns())
+@settings(max_examples=200)
+def test_class_members_share_detect_flags(data):
+    """Equivalent faults are indistinguishable on any pattern set."""
+    netlist, patterns = data
+    class_of = equivalence_classes(netlist)
+    outcome = simulate_patterns(netlist, patterns, engine="interpreted")
+    undetected = set(outcome.undetected)
+    by_class = {}
+    for fault in all_faults(netlist):
+        by_class.setdefault(class_of[fault], set()).add(fault not in undetected)
+    for class_id, flags in by_class.items():
+        assert len(flags) == 1, (
+            f"class {class_id} mixes detected and undetected members on "
+            f"patterns {patterns}"
+        )
+
+
+@given(netlist_with_patterns())
+def test_collapsed_ppsfp_identical(data):
+    """Equiv-collapsed simulate_patterns == uncollapsed, field for field."""
+    netlist, patterns = data
+    baseline = simulate_patterns(netlist, patterns, engine="interpreted")
+    for engine in ("interpreted", "superposed"):
+        collapsed = simulate_patterns(
+            netlist, patterns, engine=engine, collapse="equiv"
+        )
+        assert collapsed == baseline
+
+
+@given(random_netlists())
+def test_dominance_only_shrinks(netlist):
+    """Kept dominance universe is a subset of the equivalence reps."""
+    equiv = FaultMap.for_netlist(netlist, mode="equiv")
+    dom = FaultMap.for_netlist(netlist, mode="dominance")
+    assert dom.scheduled <= equiv.scheduled <= len(equiv.universe)
+    assert set(dom.representatives) <= set(equiv.representatives)
+    assert dominated_classes(netlist) is dominated_classes(netlist)  # cached
+
+
+@given(random_netlists())
+def test_fault_map_consistency(netlist):
+    """Representatives are a universe subsequence; expansion follows classes."""
+    fault_map = FaultMap.for_netlist(netlist, mode="equiv")
+    # representatives appear in universe order
+    positions = [fault_map.universe.index(rep) for rep in fault_map.representatives]
+    assert positions == sorted(positions)
+    codes = list(range(fault_map.scheduled))
+    expanded = fault_map.expand(codes)
+    assert len(expanded) == len(fault_map.universe)
+    class_of = equivalence_classes(netlist)
+    for member, code in zip(fault_map.universe, expanded):
+        # member and its representative share a class id
+        assert class_of[member] == class_of[fault_map.representatives[code]]
+
+
+# -- the primary-output observability bugfix ---------------------------------
+
+
+def po_branch_netlist() -> Netlist:
+    """``t = BUF(a)`` drives both the AND gate (single fanout) *and* a
+    primary output -- the exact shape the old ``collapse_trivial``
+    mis-collapsed."""
+    netlist = Netlist("po_branch")
+    netlist.add_input("a")
+    netlist.add_input("b")
+    netlist.add_gate(GateKind.BUF, "t", ["a"])
+    netlist.add_gate(GateKind.AND, "y", ["t", "b"])
+    netlist.mark_output("t")
+    netlist.mark_output("y")
+    return netlist.freeze()
+
+
+def test_po_stem_and_branch_verdicts_differ():
+    """Regression: stem t/0 is detected where the lone branch is not."""
+    netlist = po_branch_netlist()
+    stem = Fault(net="t", stuck_at=0)
+    branch = Fault(net="t", stuck_at=0, gate_index=1, pin=0)
+    # Pattern a=1, b=0: stem flips output t, the branch is masked by b=0.
+    outcome = simulate_patterns(netlist, ["10"], faults=[stem, branch])
+    assert outcome.undetected == (branch,)
+
+
+def test_collapse_trivial_keeps_branches_on_output_nets():
+    """The bugfix: a net in ``netlist.outputs`` never collapses its branch."""
+    netlist = po_branch_netlist()
+    kept = collapse_trivial(netlist, all_faults(netlist))
+    branches = [fault for fault in kept if not fault.is_stem]
+    assert any(
+        fault.net == "t" and fault.gate_index == 1 for fault in branches
+    ), "branch on the primary-output net t was collapsed into its stem"
+    # ... while plain single-fanout nets still collapse (a feeds only BUF).
+    assert not any(fault.net == "a" for fault in branches)
+
+
+def test_equivalence_respects_output_observability():
+    """The class layer agrees: stem t and its branch are separate classes."""
+    netlist = po_branch_netlist()
+    class_of = equivalence_classes(netlist)
+    stem = Fault(net="t", stuck_at=0)
+    branch = Fault(net="t", stuck_at=0, gate_index=1, pin=0)
+    assert class_of[stem] != class_of[branch]
+    # a is single-fanout and NOT an output: its stem/branch do merge.
+    assert (
+        class_of[Fault(net="a", stuck_at=0)]
+        == class_of[Fault(net="a", stuck_at=0, gate_index=0, pin=0)]
+    )
+
+
+# -- campaign-level behaviour -------------------------------------------------
+
+
+def test_collapsed_campaign_identical_and_feedback_singletons(shiftreg):
+    """Equiv-collapsed campaigns match the oracle; pseudo-nets never merge."""
+    from repro.bist.architectures import build_conventional_bist
+
+    controller = build_conventional_bist(shiftreg)
+    baseline = measure_coverage(controller, cycles=32, seed=5)
+    collapsed = measure_coverage(
+        controller, cycles=32, seed=5, dropping=True, collapse="equiv"
+    )
+    assert collapsed == baseline
+    fault_map = FaultMap.for_controller(controller)
+    feedback_reps = [
+        item for item in fault_map.representatives if item[0] == "FEEDBACK"
+    ]
+    assert len(feedback_reps) == len(controller.feedback_faults())
+
+
+def test_dominance_campaign_reports_kept_universe(shiftreg):
+    from repro.bist.architectures import build_conventional_bist
+
+    controller = build_conventional_bist(shiftreg)
+    fault_map = FaultMap.for_controller(controller, mode="dominance")
+    report = measure_coverage(
+        controller, cycles=32, seed=5, dropping=True, collapse="dominance"
+    )
+    assert report.total == fault_map.scheduled
+    assert report.total < len(fault_map.universe)
+
+
+def test_dominance_expand_refused():
+    netlist = po_branch_netlist()
+    fault_map = FaultMap.for_netlist(netlist, mode="dominance")
+    with pytest.raises(FaultError):
+        fault_map.expand([1] * fault_map.scheduled)
+
+
+def test_invalid_modes_rejected():
+    netlist = po_branch_netlist()
+    assert COLLAPSE_MODES == ("none", "equiv", "dominance")
+    with pytest.raises(FaultError):
+        FaultMap.for_netlist(netlist, mode="bogus")
+    with pytest.raises(FaultError):
+        simulate_patterns(netlist, ["10"], collapse="bogus")
+    with pytest.raises(ReproError):  # engine validates before the universe
+        measure_coverage(object(), collapse="bogus")
+
+
+def test_expand_length_checked():
+    netlist = po_branch_netlist()
+    fault_map = FaultMap.for_netlist(netlist, mode="equiv")
+    with pytest.raises(FaultError):
+        fault_map.expand([])
+    assert "FaultMap(mode='equiv'" in repr(fault_map)
+
+
+def test_controller_without_fault_blocks_collapses_nothing():
+    """A subject outside the block protocol degrades to singleton classes."""
+
+    class Opaque:
+        def fault_universe(self):
+            return [("B", Fault(net="n0", stuck_at=v)) for v in (0, 1)]
+
+    fault_map = FaultMap.for_controller(Opaque())
+    assert fault_map.scheduled == 2
+    assert fault_map.reduction == 0.0
+    assert fault_map.expand([0, 1]) == [0, 1]
+
+
+def test_custom_probe_faults_stay_singletons():
+    """Faults outside the canonical universe key on their own value."""
+    netlist = po_branch_netlist()
+    probe = Fault(net="t", stuck_at=0, gate_index=1, pin=1)  # not canonical
+    fault_map = FaultMap.for_netlist(netlist, faults=[probe, probe], mode="equiv")
+    assert fault_map.scheduled == 1  # equal probes still share one class

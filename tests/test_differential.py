@@ -24,9 +24,15 @@ asserts that
   an *intentional* semantic change.
 
 CI runs this module across a seed matrix: ``REPRO_DIFF_SEED`` moves the
-campaign seed, ``REPRO_DIFF_WORKERS`` sizes the chunk-steal scheduler and
-``REPRO_DIFF_POOL`` sizes the persistent worker pool (the golden cases
-pin their own seed and are matrix-invariant).
+campaign seed, ``REPRO_DIFF_WORKERS`` sizes the chunk-steal scheduler,
+``REPRO_DIFF_POOL`` sizes the persistent worker pool and
+``REPRO_DIFF_COLLAPSE`` (``none``/``equiv``) additionally runs every
+non-baseline engine over collapsed equivalence-class representatives --
+the verdicts are expanded back, so the whole matrix must still equal the
+uncollapsed interpreted oracle (the golden cases pin their own seed and
+are matrix-invariant).  Dedicated ``collapsed-*`` cells always exercise
+the serial, chunk-steal and pooled schedulers with ``collapse="equiv"``
+regardless of the environment.
 """
 
 from __future__ import annotations
@@ -52,6 +58,7 @@ from repro.ostr.search import search_ostr
 SEED = int(os.environ.get("REPRO_DIFF_SEED", "3"))
 WORKERS = int(os.environ.get("REPRO_DIFF_WORKERS", "2"))
 POOL_WORKERS = int(os.environ.get("REPRO_DIFF_POOL", "2"))
+COLLAPSE = os.environ.get("REPRO_DIFF_COLLAPSE", "none")
 CYCLES = 48
 
 MACHINES = ("shiftreg", "tav", "dk27", "bbtas")
@@ -78,23 +85,43 @@ def _close_pool():
         _POOL = None
 
 
-#: engine label -> campaign thunk; "interpreted" is the differential baseline.
+#: engine label -> campaign thunk; "interpreted" is the differential
+#: baseline and therefore never collapses.  The other engines collapse
+#: when the CI matrix asks for it (REPRO_DIFF_COLLAPSE); the collapsed-*
+#: cells pin ``collapse="equiv"`` so every run covers the collapse axis
+#: across the serial, chunk-steal and pooled schedulers.
 ENGINES = {
     "interpreted": lambda c, seed: measure_coverage(
         c, cycles=CYCLES, seed=seed, engine="interpreted"
     ),
-    "compiled": lambda c, seed: measure_coverage(c, cycles=CYCLES, seed=seed),
+    "compiled": lambda c, seed: measure_coverage(
+        c, cycles=CYCLES, seed=seed, collapse=COLLAPSE
+    ),
     "superposed": lambda c, seed: measure_coverage(
-        c, cycles=CYCLES, seed=seed, dropping=True
+        c, cycles=CYCLES, seed=seed, dropping=True, collapse=COLLAPSE
     ),
     "dropping-serial": lambda c, seed: measure_coverage(
-        c, cycles=CYCLES, seed=seed, dropping=True, superpose=False
+        c, cycles=CYCLES, seed=seed, dropping=True, superpose=False,
+        collapse=COLLAPSE,
     ),
     "workers": lambda c, seed: measure_coverage(
-        c, cycles=CYCLES, seed=seed, workers=WORKERS, dropping=True
+        c, cycles=CYCLES, seed=seed, workers=WORKERS, dropping=True,
+        collapse=COLLAPSE,
     ),
     "pooled": lambda c, seed: measure_coverage(
-        c, cycles=CYCLES, seed=seed, dropping=True, pool=_pool()
+        c, cycles=CYCLES, seed=seed, dropping=True, pool=_pool(),
+        collapse=COLLAPSE,
+    ),
+    "collapsed-serial": lambda c, seed: measure_coverage(
+        c, cycles=CYCLES, seed=seed, dropping=True, collapse="equiv"
+    ),
+    "collapsed-workers": lambda c, seed: measure_coverage(
+        c, cycles=CYCLES, seed=seed, workers=WORKERS, dropping=True,
+        collapse="equiv",
+    ),
+    "collapsed-pooled": lambda c, seed: measure_coverage(
+        c, cycles=CYCLES, seed=seed, dropping=True, pool=_pool(),
+        collapse="equiv",
     ),
 }
 
@@ -235,9 +262,17 @@ PPSFP_BLOCKS = {
 
 PPSFP_ENGINE_THUNKS = {
     "interpreted": lambda n, p: simulate_patterns(n, p, engine="interpreted"),
-    "compiled": lambda n, p: simulate_patterns(n, p, engine="compiled"),
-    "superposed": lambda n, p: simulate_patterns(n, p, engine="superposed"),
-    "pooled": lambda n, p: simulate_patterns(n, p, pool=_pool()),
+    "compiled": lambda n, p: simulate_patterns(
+        n, p, engine="compiled", collapse=COLLAPSE
+    ),
+    "superposed": lambda n, p: simulate_patterns(
+        n, p, engine="superposed", collapse=COLLAPSE
+    ),
+    "pooled": lambda n, p: simulate_patterns(n, p, pool=_pool(), collapse=COLLAPSE),
+    "collapsed": lambda n, p: simulate_patterns(n, p, collapse="equiv"),
+    "collapsed-pooled": lambda n, p: simulate_patterns(
+        n, p, pool=_pool(), collapse="equiv"
+    ),
 }
 
 _PPSFP_BASELINES = {}

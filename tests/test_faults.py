@@ -46,6 +46,26 @@ class TestFaultLists:
         # a and b feed exactly one pin each: their branch faults collapse.
         assert len(collapsed) == 6
 
+    def test_collapse_keeps_branch_on_primary_output_net(self):
+        # Regression: t has a single fanout (the AND pin) but also drives
+        # a primary output, so stem and branch verdicts can differ --
+        # under a=1, b=0 the stem t/0 is seen at output t while the
+        # branch is masked by b=0.  collapse_trivial must keep the branch.
+        netlist = Netlist("po")
+        netlist.add_input("a")
+        netlist.add_input("b")
+        netlist.add_gate(GateKind.BUF, "t", ["a"])
+        netlist.add_gate(GateKind.AND, "y", ["t", "b"])
+        netlist.mark_output("t")
+        netlist.mark_output("y")
+        netlist.freeze()
+        stem = Fault(net="t", stuck_at=0)
+        branch = Fault(net="t", stuck_at=0, gate_index=1, pin=0)
+        outcome = simulate_patterns(netlist, ["10"], faults=[stem, branch])
+        assert outcome.undetected == (branch,)  # the verdicts really differ
+        collapsed = collapse_trivial(netlist, all_faults(netlist))
+        assert branch in collapsed
+
 
 class TestSimulation:
     def test_exhaustive_detects_all_and_faults(self):
