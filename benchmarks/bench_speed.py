@@ -25,12 +25,21 @@ the optimised results are bit-identical to the reference paths:
   worker processes forked per campaign versus one persistent
   ``CampaignPool`` whose workers keep the controller compiled and its
   campaign state cached across campaigns;
-* **ostr**: the Table-1 depth-first OSTR sweep -- ``search_ostr`` reference
-  kernels versus the optimised kernels (identical solutions and stats).
+* **synthesis_table1**: the Table-1 depth-first OSTR sweep --
+  ``search_ostr`` on the label-tuple reference engine versus the
+  bitset-native engine (identical solutions and search statistics);
+* **partition_kernel**: the raw partition algebra -- label-tuple kernel
+  functions versus :class:`~repro.partitions.kernel.BitsetKernel` on a
+  pinned workload of meet/join/refines/m/M over real machine structure;
+* **logic_minimize**: two-level minimization -- the string-cube reference
+  minimizers versus the packed integer-cube engines on a pinned corpus
+  (identical covers).
 
 Emits a machine-readable ``BENCH JSON: {...}`` line (and writes
 ``benchmarks/results/bench_speed.json``) so speedups are tracked across
-PRs.  ``--smoke`` runs a seconds-scale subset for CI.
+PRs; when a previous results file exists, a speedup-vs-baseline table is
+printed so the trajectory is visible in ``scripts/verify.sh`` and CI
+logs.  ``--smoke`` runs a seconds-scale subset for CI.
 
 Usage::
 
@@ -249,7 +258,15 @@ def bench_pool_reuse(names, workers: int, rounds: int = 2, pipelines: bool = Tru
     }
 
 
-def bench_ostr_sweep(names) -> dict:
+def bench_synthesis_table1(names) -> dict:
+    """The Table-1 OSTR sweep: reference engine vs the bitset engine.
+
+    ``identical`` asserts bit-identical solution partitions *and* search
+    statistics per machine -- the acceptance contract of the bitset
+    engine, not just a same-cost check.
+    """
+    import dataclasses
+
     per_machine = {}
     total_reference = total_fast = 0.0
     identical = True
@@ -257,15 +274,17 @@ def bench_ostr_sweep(names) -> dict:
         machine = suite.load(name)
         kwargs = suite.entry(name).search_kwargs
         reference, reference_s = _timed(
-            lambda: search_ostr(machine, fast=False, **kwargs)
+            lambda: search_ostr(machine, reference=True, **kwargs)
         )
-        fast, fast_s = _timed(lambda: search_ostr(machine, fast=True, **kwargs))
+        fast, fast_s = _timed(lambda: search_ostr(machine, **kwargs))
+        fast_stats = dataclasses.asdict(fast.stats)
+        reference_stats = dataclasses.asdict(reference.stats)
+        fast_stats.pop("elapsed_seconds")
+        reference_stats.pop("elapsed_seconds")
         identical = identical and (
             repr(fast.solution.pi) == repr(reference.solution.pi)
             and repr(fast.solution.theta) == repr(reference.solution.theta)
-            and fast.stats.investigated == reference.stats.investigated
-            and fast.stats.pruned_subtrees == reference.stats.pruned_subtrees
-            and fast.stats.unique_joins == reference.stats.unique_joins
+            and fast_stats == reference_stats
         )
         total_reference += reference_s
         total_fast += fast_s
@@ -274,12 +293,130 @@ def bench_ostr_sweep(names) -> dict:
             "fast_s": round(fast_s, 4),
         }
     return {
-        "bench": "ostr/table1-sweep",
+        # The machine count keys smoke (light subset) and full sweeps
+        # apart, so the baseline comparison never ratios unlike sweeps.
+        "bench": f"synthesis_table1/{len(names)}-machines",
         "machines": per_machine,
         "baseline_s": round(total_reference, 4),
         "optimized_s": round(total_fast, 4),
         "speedup": round(total_reference / total_fast, 2) if total_fast else 1.0,
         "identical": identical,
+    }
+
+
+def bench_partition_kernel(name: str, repeats: int) -> dict:
+    """Raw partition algebra: label-tuple kernel vs the bitset kernel.
+
+    The workload is real machine structure, not noise: the machine's
+    m-basis elements and their pairwise joins, i.e. exactly the partitions
+    the OSTR search churns through -- and it repeats, because that is the
+    search's access pattern and what the kernel's per-SuccTable memo
+    caches exist for (the label kernel recomputes every call).  Every
+    bitset result is checked against the label result while timing.
+    """
+    from repro.partitions import kernel
+    from repro.partitions.mm import m_basis_labels
+
+    machine = suite.load(name)
+    succ = machine.succ_table
+    basis = m_basis_labels(succ)
+    joins = [
+        kernel.join(a, b) for a in basis[:24] for b in basis[:24][::3]
+    ]
+    workload = (basis + joins)[: 600]
+    pairs = list(zip(workload, workload[1:] + workload[:1]))
+
+    def label_pass():
+        out = 0
+        for _ in range(repeats):
+            for a, b in pairs:
+                out ^= hash(kernel.join(a, b))
+                out ^= hash(kernel.meet(a, b))
+                out ^= hash(kernel.refines(a, b))
+                out ^= hash(kernel.m_operator(succ, a))
+                out ^= hash(kernel.big_m_operator(succ, b))
+        return out
+
+    def bitset_pass():
+        kern = kernel.BitsetKernel(succ)  # fresh caches: no warm-start head start
+        out = 0
+        for _ in range(repeats):
+            for a, b in pairs:
+                am, bm = kern.from_labels(a), kern.from_labels(b)
+                out ^= hash(kern.to_labels(kern.join(am, bm)))
+                out ^= hash(kern.to_labels(kern.meet(am, bm)))
+                out ^= hash(kern.refines(am, bm))
+                out ^= hash(kern.to_labels(kern.m(am)))
+                out ^= hash(kern.to_labels(kern.big_m(bm)))
+        return out
+
+    kern = kernel.BitsetKernel(succ)
+    identical = all(
+        kern.join_labels(a, b) == kernel.join(a, b)
+        and kern.meet_labels(a, b) == kernel.meet(a, b)
+        and kern.refines_labels(a, b) == kernel.refines(a, b)
+        and kern.m_labels(a) == kernel.m_operator(succ, a)
+        and kern.big_m_labels(b) == kernel.big_m_operator(succ, b)
+        for a, b in pairs
+    )
+    label_digest, label_s = _timed(label_pass)
+    bitset_digest, bitset_s = _timed(bitset_pass)
+    return {
+        "bench": f"partition_kernel/{name}",
+        "operations": len(pairs) * 5 * repeats,
+        "baseline_s": round(label_s, 4),
+        "optimized_s": round(bitset_s, 4),
+        "speedup": round(label_s / bitset_s, 2) if bitset_s else float("inf"),
+        "identical": identical and label_digest == bitset_digest,
+    }
+
+
+def bench_logic_minimize(n_functions: int, max_inputs: int) -> dict:
+    """Two-level minimization: string reference vs packed integer engines.
+
+    A pinned pseudo-random corpus of incompletely specified functions is
+    minimized exactly and heuristically by both engines; ``identical``
+    demands cover-for-cover equality, which is the contract the integer
+    engines are shipped under.
+    """
+    import random
+
+    from repro.logic import (
+        minimize_exact,
+        minimize_exact_reference,
+        minimize_heuristic,
+        minimize_heuristic_reference,
+    )
+
+    rng = random.Random(20260727)
+    corpus = []
+    for index in range(n_functions):
+        n = 4 + index % (max_inputs - 3)
+        space = [format(v, f"0{n}b") for v in range(2 ** n)]
+        on = [m for m in space if rng.random() < 0.35]
+        dc = [m for m in space if m not in on and rng.random() < 0.1]
+        if on:
+            corpus.append((on, dc, n))
+
+    reference_covers, reference_s = _timed(
+        lambda: [
+            (minimize_exact_reference(*f), minimize_heuristic_reference(*f))
+            for f in corpus
+        ]
+    )
+    packed_covers, packed_s = _timed(
+        lambda: [(minimize_exact(*f), minimize_heuristic(*f)) for f in corpus]
+    )
+    return {
+        "bench": f"logic_minimize/{len(corpus)}-functions",
+        "functions": len(corpus),
+        "max_inputs": max_inputs,
+        "baseline_s": round(reference_s, 4),
+        "optimized_s": round(packed_s, 4),
+        "speedup": (
+            round(reference_s / packed_s, 2) if packed_s else float("inf")
+        ),
+        "identical": reference_covers == packed_covers,
     }
 
 
@@ -302,6 +439,8 @@ def main(argv=None) -> int:
             names=("shiftreg", "tav", "dk27"), workers=2, pipelines=False
         )
         collapse_name = "dk27"
+        kernel_case = dict(name="dk512", repeats=5)
+        logic_case = dict(n_functions=12, max_inputs=7)
     else:
         coverage_cases = [
             ("dk27", "conventional"),
@@ -314,6 +453,17 @@ def main(argv=None) -> int:
             names=("shiftreg", "tav", "dk27", "bbtas"), workers=2
         )
         collapse_name = "dk14"
+        kernel_case = dict(name="dk16", repeats=5)
+        logic_case = dict(n_functions=40, max_inputs=8)
+
+    baseline_payload = None
+    baseline_path = os.path.join(RESULTS_DIR, "bench_speed.json")
+    if os.path.exists(baseline_path):
+        try:
+            with open(baseline_path, encoding="utf-8") as handle:
+                baseline_payload = json.load(handle)
+        except (OSError, ValueError):
+            baseline_payload = None
 
     results = []
     for name, architecture in coverage_cases:
@@ -359,13 +509,31 @@ def main(argv=None) -> int:
         f"{pool_reuse['reuse_hits']} reuse hits, "
         f"identical={pool_reuse['identical']})"
     )
-    sweep = bench_ostr_sweep(sweep_names)
+    sweep = bench_synthesis_table1(sweep_names)
     results.append(sweep)
     print(
-        f"{sweep['bench']}: {sweep['baseline_s']:.2f}s -> "
-        f"{sweep['optimized_s']:.2f}s (x{sweep['speedup']}, "
-        f"identical={sweep['identical']})"
+        f"{sweep['bench']}: {len(sweep['machines'])} machines, "
+        f"{sweep['baseline_s']:.2f}s -> {sweep['optimized_s']:.2f}s "
+        f"(x{sweep['speedup']}, identical={sweep['identical']})"
     )
+    kernel_bench = bench_partition_kernel(**kernel_case)
+    results.append(kernel_bench)
+    print(
+        f"{kernel_bench['bench']}: {kernel_bench['operations']} ops, "
+        f"{kernel_bench['baseline_s']:.2f}s -> "
+        f"{kernel_bench['optimized_s']:.2f}s "
+        f"(x{kernel_bench['speedup']}, identical={kernel_bench['identical']})"
+    )
+    logic_bench = bench_logic_minimize(**logic_case)
+    results.append(logic_bench)
+    print(
+        f"{logic_bench['bench']}: {logic_bench['functions']} functions, "
+        f"{logic_bench['baseline_s']:.2f}s -> "
+        f"{logic_bench['optimized_s']:.2f}s "
+        f"(x{logic_bench['speedup']}, identical={logic_bench['identical']})"
+    )
+
+    _print_baseline_comparison(results, baseline_payload)
 
     payload = {
         "suite": "bench_speed",
@@ -375,15 +543,52 @@ def main(argv=None) -> int:
     print("BENCH JSON: " + json.dumps(payload))
     if not args.no_json_file:
         os.makedirs(RESULTS_DIR, exist_ok=True)
+        # Smoke runs land in their own file: bench_speed.json is the
+        # committed full-mode baseline, and a CI/verify.sh smoke run must
+        # not overwrite it with smoke-mode numbers.
+        filename = "bench_speed_smoke.json" if args.smoke else "bench_speed.json"
         with open(
-            os.path.join(RESULTS_DIR, "bench_speed.json"), "w", encoding="utf-8"
+            os.path.join(RESULTS_DIR, filename), "w", encoding="utf-8"
         ) as handle:
             json.dump(payload, handle, indent=2)
+            handle.write("\n")
 
     if not all(r["identical"] for r in results):
         print("FAILED: optimised results diverged from the reference paths")
         return 1
     return 0
+
+
+def _print_baseline_comparison(results, baseline_payload) -> None:
+    """Speedup-vs-baseline table against the committed results file.
+
+    The committed ``benchmarks/results/bench_speed.json`` is the previous
+    run's trajectory point; printing the delta here makes regressions (or
+    wins) visible directly in ``scripts/verify.sh`` and CI logs before
+    the file is overwritten.
+    """
+    if not baseline_payload:
+        print("-- no committed baseline yet; this run becomes the baseline --")
+        return
+    baseline = {
+        r.get("bench"): r for r in baseline_payload.get("results", [])
+    }
+    mode = baseline_payload.get("mode", "?")
+    print(f"-- speedup vs committed baseline (mode={mode}) --")
+    for result in results:
+        previous = baseline.get(result["bench"])
+        if previous is None or not previous.get("speedup"):
+            print(f"  {result['bench']}: x{result['speedup']} (new scenario)")
+            continue
+        ratio = (
+            result["speedup"] / previous["speedup"]
+            if previous["speedup"]
+            else float("inf")
+        )
+        print(
+            f"  {result['bench']}: x{result['speedup']} "
+            f"(baseline x{previous['speedup']}, ratio {ratio:.2f})"
+        )
 
 
 if __name__ == "__main__":

@@ -24,5 +24,9 @@ echo "== differential suite (cross-engine + PPSFP matrix, golden signatures, poo
 python -m pytest tests/test_differential.py tests/test_prop_superposed.py \
   tests/test_prop_ppsfp.py tests/test_pool.py -q
 
-echo "== speed benchmark (smoke) =="
+echo "== synthesis equivalence (bitset kernels vs label oracle, Table-1 golden stats) =="
+python -m pytest tests/test_prop_partitions.py tests/test_search_fast.py \
+  tests/test_table1_golden.py -q
+
+echo "== speed benchmark (smoke; prints speedup vs committed baseline) =="
 python benchmarks/bench_speed.py --smoke

@@ -88,7 +88,7 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         machine,
         policy=args.policy,
         basis_order=args.basis_order,
-        fast=not args.reference,
+        reference=args.reference,
         **kwargs,
     )
     print(result.summary())
@@ -317,7 +317,8 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument(
         "--reference",
         action="store_true",
-        help="use the unoptimised reference kernels (identical results)",
+        help="run the label-tuple oracle engine instead of the bitset-native "
+        "default (identical solutions and search statistics, slower)",
     )
     synth.add_argument(
         "-o", "--output", default=None, help="write the realization as KISS2"

@@ -14,6 +14,11 @@ from .cubes import (
 )
 from .espresso_lite import minimize, minimize_heuristic
 from .quine_mccluskey import minimize_exact, prime_implicants
+from .reference import (
+    minimize_exact_reference,
+    minimize_heuristic_reference,
+    prime_implicants_reference,
+)
 from .synth import MultiOutputCover, synthesize_table
 
 __all__ = [
@@ -31,6 +36,9 @@ __all__ = [
     "minimize_exact",
     "minimize_heuristic",
     "minimize",
+    "prime_implicants_reference",
+    "minimize_exact_reference",
+    "minimize_heuristic_reference",
     "MultiOutputCover",
     "synthesize_table",
 ]

@@ -6,16 +6,24 @@ variable.  A *cover* is a set of cubes whose union (OR) implements a
 single-output function.  Multi-output sharing is handled a level up in
 :mod:`repro.logic.synth`.
 
-Strings are deliberately used instead of packed integers: the functions in
-this domain are small (controller next-state/output logic) and the string
-form keeps the algorithms auditable.
+Strings are the *boundary* format -- what :mod:`repro.logic.synth`, the
+PLA/BLIF exporters and the tests trade in.  The minimizers themselves run
+on the packed form defined here as well: a cube is an integer pair
+``(mask, value)`` where bit ``j`` of ``mask`` is set iff string position
+``n - 1 - j`` is bound, and ``value`` holds the bound literal values on
+those bits (``value & ~mask == 0``).  A fully specified minterm packs to
+``int(minterm, 2)``, so containment, intersection, merging and expansion
+all become one- or two-instruction bit operations (the ``int_cube_*``
+functions below).  The string functions are kept both as the boundary
+adapters and as the reference semantics the packed ops are property-tested
+against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import product
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..exceptions import LogicError
 
@@ -72,6 +80,99 @@ def try_merge(a: str, b: str) -> str:
     if difference == -1:
         raise LogicError(f"cubes {a!r} and {b!r} are identical")
     return a[:difference] + "-" + a[difference + 1 :]
+
+
+# ---------------------------------------------------------------------------
+# Packed integer cubes: the minimizers' compute format
+# ---------------------------------------------------------------------------
+
+IntCube = Tuple[int, int]  # (mask of bound positions, literal values)
+
+
+def pack_minterm(minterm: str) -> int:
+    """Fully specified minterm string -> its integer value."""
+    return int(minterm, 2) if minterm else 0
+
+
+def unpack_minterm(value: int, n_inputs: int) -> str:
+    """Integer minterm -> the boundary string form."""
+    return format(value, f"0{n_inputs}b") if n_inputs else ""
+
+
+def pack_cube(cube: str) -> IntCube:
+    """String cube -> packed ``(mask, value)`` pair."""
+    mask = value = 0
+    for ch in cube:
+        mask <<= 1
+        value <<= 1
+        if ch == "1":
+            mask |= 1
+            value |= 1
+        elif ch == "0":
+            mask |= 1
+        elif ch != "-":
+            raise LogicError(f"invalid cube {cube!r}")
+    return mask, value
+
+
+def unpack_cube(mask: int, value: int, n_inputs: int) -> str:
+    """Packed cube -> the boundary string form."""
+    bit = 1 << (n_inputs - 1) if n_inputs else 0
+    out = []
+    while bit:
+        if not mask & bit:
+            out.append("-")
+        elif value & bit:
+            out.append("1")
+        else:
+            out.append("0")
+        bit >>= 1
+    return "".join(out)
+
+
+def int_cube_literals(mask: int) -> int:
+    """Number of bound variables of a packed cube."""
+    return mask.bit_count()
+
+
+def int_cube_covers(mask: int, value: int, minterm: int) -> bool:
+    """Does the packed cube contain the integer minterm?"""
+    return minterm & mask == value
+
+
+def int_cube_contains(outer: IntCube, inner: IntCube) -> bool:
+    """Is every minterm of ``inner`` contained in ``outer``?"""
+    outer_mask, outer_value = outer
+    inner_mask, inner_value = inner
+    return outer_mask & inner_mask == outer_mask and (
+        inner_value & outer_mask == outer_value
+    )
+
+
+def int_cubes_intersect(a: IntCube, b: IntCube) -> bool:
+    """Do the packed cubes share at least one minterm?"""
+    common = a[0] & b[0]
+    return a[1] & common == b[1] & common
+
+
+def int_merge_or_none(a: IntCube, b: IntCube) -> Optional[IntCube]:
+    """Distance-1 merge of packed cubes with identical masks, else None."""
+    if a[0] != b[0]:
+        return None
+    difference = a[1] ^ b[1]
+    if difference == 0 or difference & (difference - 1):
+        return None
+    return a[0] & ~difference, a[1] & ~difference
+
+
+def int_supercube(minterms: Sequence[int], n_inputs: int) -> IntCube:
+    """Smallest packed cube containing all the given integer minterms."""
+    first = minterms[0]
+    differing = 0
+    for minterm in minterms[1:]:
+        differing |= first ^ minterm
+    mask = ((1 << n_inputs) - 1) & ~differing
+    return mask, first & mask
 
 
 @dataclass(frozen=True)

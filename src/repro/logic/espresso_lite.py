@@ -10,67 +10,78 @@ of the espresso recipe on explicit on/off sets:
 3. **IRREDUNDANT**: greedily drop cubes whose on-set minterms are covered
    by the rest.
 
+The passes run on packed ``(mask, value)`` integer cubes
+(:mod:`repro.logic.cubes`): the expansion's off-set scan -- the hot loop
+of the whole minimizer -- is one AND-and-compare per off minterm instead
+of a character walk.  :func:`repro.logic.reference.
+minimize_heuristic_reference` is the seed's string implementation, kept as
+the equivalence oracle; identical covers are asserted by the property
+suite.  Cube orderings are fully deterministic (first-appearance tie
+breaks), so repeated runs produce byte-identical covers.
+
 The result is verified against the on/off sets before being returned, so a
 bug in the heuristics can never produce a functionally wrong cover.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Set
+from typing import List, Sequence, Set, Tuple
 
 from ..exceptions import LogicError
 from .cubes import (
     Cover,
-    cube_contains,
-    cube_covers,
-    cubes_intersect,
-    verify_cover,
+    IntCube,
+    int_cube_contains,
+    int_supercube,
+    pack_minterm,
+    unpack_cube,
+    unpack_minterm,
 )
 
 
-def _expand_cube(cube: str, off_set: Sequence[str]) -> str:
+def _expand_cube(cube: IntCube, off_set: Sequence[int], n_inputs: int) -> IntCube:
     """Free bound literals while the cube avoids every off-set minterm."""
-    current = cube
-    for position in range(len(cube)):
-        if current[position] == "-":
-            continue
-        trial = current[:position] + "-" + current[position + 1 :]
-        if not any(cubes_intersect(trial, off) for off in off_set):
-            current = trial
-    return current
+    mask, value = cube
+    bit = 1 << (n_inputs - 1) if n_inputs else 0
+    while bit:  # string position order: leftmost (highest bit) first
+        if mask & bit:
+            trial_mask = mask & ~bit
+            trial_value = value & ~bit
+            if not any(
+                off & trial_mask == trial_value for off in off_set
+            ):
+                mask, value = trial_mask, trial_value
+        bit >>= 1
+    return mask, value
 
 
-def _absorb(cubes: List[str]) -> List[str]:
+def _absorb(cubes: List[IntCube]) -> List[IntCube]:
     """Remove cubes contained in another cube of the list."""
-    kept: List[str] = []
-    for cube in sorted(set(cubes), key=lambda c: c.count("-"), reverse=True):
-        if not any(cube_contains(other, cube) for other in kept):
+    kept: List[IntCube] = []
+    for cube in sorted(
+        dict.fromkeys(cubes), key=lambda c: c[0].bit_count()
+    ):  # fewest bound literals (largest cube) first
+        if not any(int_cube_contains(other, cube) for other in kept):
             kept.append(cube)
     return kept
 
 
-def _irredundant(cubes: List[str], on_set: Sequence[str]) -> List[str]:
+def _irredundant(cubes: List[IntCube], on_set: Sequence[int]) -> List[IntCube]:
     """Greedy removal of cubes not needed to cover the on-set."""
     kept = list(cubes)
-    # Try to drop the most specific (fewest '-') cubes first.
-    for cube in sorted(list(kept), key=lambda c: c.count("-")):
+    # Try to drop the most specific (most bound literals) cubes first.
+    for cube in sorted(list(kept), key=lambda c: -c[0].bit_count()):
         others = [c for c in kept if c != cube]
-        if all(any(cube_covers(c, m) for c in others) for m in on_set):
+        if all(
+            any(m & mask == value for mask, value in others) for m in on_set
+        ):
             kept = others
     return kept
 
 
-def _supercube(minterms: Sequence[str], n_inputs: int) -> str:
-    """Smallest cube containing all the given minterms."""
-    chars = list(minterms[0])
-    for minterm in minterms[1:]:
-        for position, ch in enumerate(minterm):
-            if chars[position] != ch:
-                chars[position] = "-"
-    return "".join(chars)
-
-
-def _reduce(cubes: List[str], on_set: Sequence[str], n_inputs: int) -> List[str]:
+def _reduce(
+    cubes: List[IntCube], on_set: Sequence[int], n_inputs: int
+) -> List[IntCube]:
     """REDUCE pass: shrink each cube to the supercube of the on-set
     minterms only it covers; a shrunk cube can expand differently on the
     next pass, letting the loop escape local minima.
@@ -85,15 +96,16 @@ def _reduce(cubes: List[str], on_set: Sequence[str], n_inputs: int) -> List[str]
     reduced = list(cubes)
     position = 0
     while position < len(reduced):
+        mask, value = reduced[position]
         others = reduced[:position] + reduced[position + 1 :]
         exclusive = [
             minterm
             for minterm in on_set
-            if cube_covers(reduced[position], minterm)
-            and not any(cube_covers(other, minterm) for other in others)
+            if minterm & mask == value
+            and not any(minterm & om == ov for om, ov in others)
         ]
         if exclusive:
-            reduced[position] = _supercube(exclusive, n_inputs)
+            reduced[position] = int_supercube(exclusive, n_inputs)
             position += 1
         else:
             del reduced[position]  # fully covered by the rest (irredundant)
@@ -111,52 +123,76 @@ def minimize_heuristic(
     The classic loop: EXPAND against the off-set, ABSORB contained cubes,
     IRREDUNDANT, then REDUCE and repeat -- ``iterations`` rounds, keeping
     the best cover seen (fewest cubes, then fewest literals).  The off-set
-    is materialised explicitly, so this still assumes the input space is
-    enumerable (controller-scale logic); what it avoids is the
-    prime-implicant explosion of exact minimization.
+    is materialised explicitly (as packed integers), so this still assumes
+    the input space is enumerable (controller-scale logic); what it avoids
+    is the prime-implicant explosion of exact minimization.
     """
     if not on_set:
         return Cover(n_inputs, ())
-    care: Set[str] = set(on_set) | set(dc_set)
-    space = 2 ** n_inputs
-    off_set = [
-        pattern
-        for pattern in (format(v, f"0{n_inputs}b") for v in range(space))
-        if pattern not in care
-    ]
+    for minterm in list(on_set) + list(dc_set):
+        if len(minterm) != n_inputs or not set(minterm) <= {"0", "1"}:
+            raise LogicError(f"invalid minterm {minterm!r}")
+    on_values = [pack_minterm(minterm) for minterm in on_set]
+    care: Set[int] = set(on_values) | {pack_minterm(m) for m in dc_set}
+    off_set = [v for v in range(2 ** n_inputs) if v not in care]
+    full_mask = (1 << n_inputs) - 1
 
-    def one_pass(cubes: List[str]) -> List[str]:
-        cubes = sorted(set(cubes), key=lambda c: c.count("-"), reverse=True)
-        expanded = [_expand_cube(cube, off_set) for cube in cubes]
+    def one_pass(cubes: List[IntCube]) -> List[IntCube]:
+        cubes = sorted(dict.fromkeys(cubes), key=lambda c: c[0].bit_count())
+        expanded = [_expand_cube(cube, off_set, n_inputs) for cube in cubes]
         compact = _absorb(expanded)
-        return _irredundant(compact, list(on_set))
+        return _irredundant(compact, on_values)
 
-    current = one_pass(list(dict.fromkeys(on_set)))
+    current = one_pass(
+        [(full_mask, v) for v in dict.fromkeys(on_values)]
+    )
     best = list(current)
 
-    def cost(cubes: List[str]):
-        from .cubes import cube_literals
-
-        return (len(cubes), sum(cube_literals(c) for c in cubes))
+    def cost(cubes: List[IntCube]) -> Tuple[int, int]:
+        return (len(cubes), sum(mask.bit_count() for mask, _ in cubes))
 
     for _ in range(max(0, iterations - 1)):
-        reduced = _reduce(current, list(on_set), n_inputs)
+        reduced = _reduce(current, on_values, n_inputs)
         if not reduced:
             break
         current = one_pass(reduced)
         # Candidate covers must actually cover the on-set before they can
         # compete on cost (EXPAND/IRREDUNDANT never add coverage, so a
         # coverage hole would otherwise win on cube count and only be
-        # caught by verify_cover below).
+        # caught by the verification below).
         if all(
-            any(cube_covers(cube, minterm) for cube in current)
-            for minterm in on_set
+            any(m & mask == value for mask, value in current)
+            for m in on_values
         ) and cost(current) < cost(best):
             best = list(current)
 
-    cover = Cover(n_inputs, tuple(sorted(best)))
-    verify_cover(cover, list(on_set), off_set)
+    cover = Cover(
+        n_inputs,
+        tuple(sorted(unpack_cube(mask, value, n_inputs) for mask, value in best)),
+    )
+    _verify_packed(best, on_values, off_set, n_inputs)
     return cover
+
+
+def _verify_packed(
+    cubes: List[IntCube],
+    on_values: Sequence[int],
+    off_set: Sequence[int],
+    n_inputs: int,
+) -> None:
+    """Packed-form :func:`repro.logic.cubes.verify_cover` (same failures)."""
+    for minterm in on_values:
+        if not any(minterm & mask == value for mask, value in cubes):
+            raise LogicError(
+                "cover misses on-set minterm "
+                f"{unpack_minterm(minterm, n_inputs)!r}"
+            )
+    for minterm in off_set:
+        if any(minterm & mask == value for mask, value in cubes):
+            raise LogicError(
+                "cover wrongly covers off-set minterm "
+                f"{unpack_minterm(minterm, n_inputs)!r}"
+            )
 
 
 def minimize(

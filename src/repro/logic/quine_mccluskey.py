@@ -7,6 +7,14 @@ on the remaining cyclic core.  Cost order: fewest cubes, then fewest
 literals -- the standard PLA objective, which is also what the paper's
 "logic minimization" step (their references [5, 6]) optimises.
 
+The public API trades in string cubes, but the engine runs on packed
+``(mask, value)`` integer cubes (:mod:`repro.logic.cubes`): merging is a
+two-instruction XOR test, containment a masked compare, and coverage of a
+minterm a single AND.  :func:`repro.logic.reference.
+minimize_exact_reference` is the seed's string implementation, kept as the
+equivalence oracle -- both produce identical covers (asserted by the
+property suite).
+
 Intended for the input widths of controller logic (up to ~12 variables);
 :mod:`repro.logic.espresso_lite` covers anything larger heuristically.
 """
@@ -16,81 +24,94 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..exceptions import LogicError
-from .cubes import Cover, cube_contains, cube_covers, cube_literals
+from .cubes import (
+    Cover,
+    IntCube,
+    int_cube_literals,
+    int_merge_or_none,
+    pack_cube,
+    pack_minterm,
+    unpack_cube,
+    unpack_minterm,
+)
 
 _MAX_INPUTS = 16
 
 
-def prime_implicants(
+def _validated_care(
     on_set: Sequence[str], dc_set: Sequence[str], n_inputs: int
-) -> List[str]:
-    """All prime implicants of the function ``on ∪ dc``."""
-    care = set(on_set) | set(dc_set)
-    for minterm in care:
+) -> Set[int]:
+    """Validate the minterm strings and return the packed care set."""
+    care: Set[int] = set()
+    for minterm in list(on_set) + list(dc_set):
         if len(minterm) != n_inputs or not set(minterm) <= {"0", "1"}:
             raise LogicError(f"invalid minterm {minterm!r}")
+        care.add(pack_minterm(minterm))
     if n_inputs > _MAX_INPUTS:
         raise LogicError(
             f"{n_inputs} inputs exceeds the exact-minimizer limit "
             f"({_MAX_INPUTS}); use espresso_lite"
         )
-    if not care:
-        return []
+    return care
 
-    current: Set[str] = set(care)
-    primes: Set[str] = set()
+
+def _prime_implicants_packed(care: Set[int], n_inputs: int) -> Set[IntCube]:
+    """All prime implicants of the care set, as packed cubes."""
+    full_mask = (1 << n_inputs) - 1
+    current: Set[IntCube] = {(full_mask, value) for value in care}
+    primes: Set[IntCube] = set()
     while current:
-        merged_from: Set[str] = set()
-        next_level: Set[str] = set()
-        grouped: Dict[int, List[str]] = {}
+        merged_from: Set[IntCube] = set()
+        next_level: Set[IntCube] = set()
+        grouped: Dict[int, List[IntCube]] = {}
         for cube in current:
-            grouped.setdefault(cube.count("1"), []).append(cube)
+            grouped.setdefault(cube[1].bit_count(), []).append(cube)
         for ones, cubes in grouped.items():
             partners = grouped.get(ones + 1, [])
             for a in cubes:
                 for b in partners:
-                    merged = _merge_or_none(a, b)
+                    merged = int_merge_or_none(a, b)
                     if merged is not None:
                         next_level.add(merged)
                         merged_from.add(a)
                         merged_from.add(b)
         primes |= current - merged_from
         current = next_level
-    return sorted(primes)
+    return primes
 
 
-def _merge_or_none(a: str, b: str) -> Optional[str]:
-    """Distance-1 merge of cubes with identical '-' positions, else None."""
-    difference = -1
-    for position, (x, y) in enumerate(zip(a, b)):
-        if x == y:
-            continue
-        if x == "-" or y == "-":
-            return None
-        if difference != -1:
-            return None
-        difference = position
-    if difference == -1:
-        return None
-    return a[:difference] + "-" + a[difference + 1 :]
-
-
-def _select_cover(
-    primes: List[str], on_set: Sequence[str]
+def prime_implicants(
+    on_set: Sequence[str], dc_set: Sequence[str], n_inputs: int
 ) -> List[str]:
-    """Minimum-cube (then minimum-literal) prime cover of the on-set."""
-    remaining = list(dict.fromkeys(on_set))
+    """All prime implicants of the function ``on ∪ dc``."""
+    care = _validated_care(on_set, dc_set, n_inputs)
+    if not care:
+        return []
+    primes = _prime_implicants_packed(care, n_inputs)
+    return sorted(unpack_cube(mask, value, n_inputs) for mask, value in primes)
+
+
+def _select_cover_packed(
+    primes: List[IntCube], on_values: List[int], n_inputs: int
+) -> List[int]:
+    """Indices of a minimum-cube (then minimum-literal) prime cover."""
+    remaining = list(dict.fromkeys(on_values))
     if not remaining:
         return []
-    covering: Dict[str, List[int]] = {
+    covering: Dict[int, List[int]] = {
         minterm: [
-            index for index, prime in enumerate(primes) if cube_covers(prime, minterm)
+            index
+            for index, (mask, value) in enumerate(primes)
+            if minterm & mask == value
         ]
         for minterm in remaining
     }
     for minterm, rows in covering.items():
         if not rows:
-            raise LogicError(f"no prime covers on-set minterm {minterm!r}")
+            raise LogicError(
+                "no prime covers on-set minterm "
+                f"{unpack_minterm(minterm, n_inputs)!r}"
+            )
 
     chosen: Set[int] = set()
     # Essential primes + dominance until fixpoint.
@@ -101,10 +122,8 @@ def _select_cover(
             rows = covering[minterm]
             if len(rows) == 1:
                 chosen.add(rows[0])
-                covered = {
-                    m for m in remaining if cube_covers(primes[rows[0]], m)
-                }
-                remaining = [m for m in remaining if m not in covered]
+                mask, value = primes[rows[0]]
+                remaining = [m for m in remaining if m & mask != value]
                 changed = True
         if not remaining:
             break
@@ -113,9 +132,9 @@ def _select_cover(
             {index for minterm in remaining for index in covering[minterm]}
             - chosen
         )
-        prime_rows: Dict[int, FrozenSet[str]] = {
+        prime_rows: Dict[int, FrozenSet[int]] = {
             index: frozenset(
-                m for m in remaining if cube_covers(primes[index], m)
+                m for m in remaining if m & primes[index][0] == primes[index][1]
             )
             for index in active
         }
@@ -124,17 +143,16 @@ def _select_cover(
         for a in active:
             if a in dropped:
                 continue
+            literals_a = int_cube_literals(primes[a][0])
             for b in active:
                 if a == b or b in dropped:
                     continue
+                literals_b = int_cube_literals(primes[b][0])
                 if prime_rows[a] < prime_rows[b] or (
                     prime_rows[a] == prime_rows[b]
                     and (
-                        cube_literals(primes[a]) > cube_literals(primes[b])
-                        or (
-                            cube_literals(primes[a]) == cube_literals(primes[b])
-                            and a > b
-                        )
+                        literals_a > literals_b
+                        or (literals_a == literals_b and a > b)
                     )
                 ):
                     dropped.add(a)
@@ -150,13 +168,13 @@ def _select_cover(
 
     if remaining:
         chosen |= _branch_and_bound(primes, remaining, covering, chosen)
-    return sorted(primes[index] for index in chosen)
+    return sorted(chosen)
 
 
 def _branch_and_bound(
-    primes: List[str],
-    remaining: List[str],
-    covering: Dict[str, List[int]],
+    primes: List[IntCube],
+    remaining: List[int],
+    covering: Dict[int, List[int]],
     already: Set[int],
 ) -> Set[int]:
     """Exact covering of the cyclic core (small by the time we get here)."""
@@ -165,10 +183,10 @@ def _branch_and_bound(
     def cost(selection: Set[int]) -> Tuple[int, int]:
         return (
             len(selection),
-            sum(cube_literals(primes[index]) for index in selection),
+            sum(int_cube_literals(primes[index][0]) for index in selection),
         )
 
-    def recurse(uncovered: List[str], selection: Set[int]) -> None:
+    def recurse(uncovered: List[int], selection: Set[int]) -> None:
         if best[0] is not None and cost(selection) >= cost(best[0]):
             return
         if not uncovered:
@@ -177,17 +195,24 @@ def _branch_and_bound(
         # Branch on the hardest minterm (fewest options) for tight bounds.
         pivot = min(
             uncovered,
-            key=lambda minterm: len([i for i in covering[minterm] if i not in already]),
+            key=lambda minterm: len(
+                [i for i in covering[minterm] if i not in already]
+            ),
         )
         options = [index for index in covering[pivot] if index not in already]
-        options.sort(key=lambda index: -len(
-            [m for m in uncovered if cube_covers(primes[index], m)]
-        ))
+        options.sort(
+            key=lambda index: -len(
+                [
+                    m
+                    for m in uncovered
+                    if m & primes[index][0] == primes[index][1]
+                ]
+            )
+        )
         for index in options:
+            mask, value = primes[index]
             new_selection = selection | {index}
-            new_uncovered = [
-                m for m in uncovered if not cube_covers(primes[index], m)
-            ]
+            new_uncovered = [m for m in uncovered if m & mask != value]
             recurse(new_uncovered, new_selection)
 
     recurse(list(remaining), set())
@@ -202,6 +227,10 @@ def minimize_exact(
     """Exact minimum-cube two-level cover of an incompletely specified function."""
     if not on_set:
         return Cover(n_inputs, ())
-    primes = prime_implicants(on_set, dc_set, n_inputs)
-    selected = _select_cover(primes, list(on_set))
-    return Cover(n_inputs, tuple(selected))
+    # The prime list is string-sorted so the covering problem (and its
+    # index-based tie-breaks) sees exactly the order the string oracle saw.
+    prime_strings = prime_implicants(on_set, dc_set, n_inputs)
+    primes = [pack_cube(cube) for cube in prime_strings]
+    on_values = [pack_minterm(minterm) for minterm in on_set]
+    selected = _select_cover_packed(primes, on_values, n_inputs)
+    return Cover(n_inputs, tuple(sorted(prime_strings[i] for i in selected)))

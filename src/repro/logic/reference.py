@@ -1,0 +1,358 @@
+"""String-cube reference minimizers: the seed's algorithms, kept as oracles.
+
+The production minimizers in :mod:`repro.logic.quine_mccluskey` and
+:mod:`repro.logic.espresso_lite` run on packed ``(mask, value)`` integer
+cubes; the implementations here are the seed's character-by-character
+string versions, preserved verbatim so the integer engines have an
+independent oracle to be equivalence-tested against (and benchmarked
+over).
+
+One deliberate deviation from the seed: the espresso-style passes used to
+order tie-cost cubes by ``set`` iteration order, which depends on string
+hash randomisation -- the covers could differ between interpreter runs.
+Both this oracle and the integer engine now dedupe with order-preserving
+``dict.fromkeys`` and break sort ties by first appearance, so the two
+paths produce *identical* covers and runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import LogicError
+from .cubes import (
+    Cover,
+    cube_contains,
+    cube_covers,
+    cube_literals,
+    cubes_intersect,
+    verify_cover,
+)
+
+_MAX_INPUTS = 16
+
+
+# ---------------------------------------------------------------------------
+# Exact minimization (Quine-McCluskey + covering)
+# ---------------------------------------------------------------------------
+
+
+def prime_implicants_reference(
+    on_set: Sequence[str], dc_set: Sequence[str], n_inputs: int
+) -> List[str]:
+    """All prime implicants of the function ``on ∪ dc`` (string cubes)."""
+    care = set(on_set) | set(dc_set)
+    for minterm in care:
+        if len(minterm) != n_inputs or not set(minterm) <= {"0", "1"}:
+            raise LogicError(f"invalid minterm {minterm!r}")
+    if n_inputs > _MAX_INPUTS:
+        raise LogicError(
+            f"{n_inputs} inputs exceeds the exact-minimizer limit "
+            f"({_MAX_INPUTS}); use espresso_lite"
+        )
+    if not care:
+        return []
+
+    current: Set[str] = set(care)
+    primes: Set[str] = set()
+    while current:
+        merged_from: Set[str] = set()
+        next_level: Set[str] = set()
+        grouped: Dict[int, List[str]] = {}
+        for cube in current:
+            grouped.setdefault(cube.count("1"), []).append(cube)
+        for ones, cubes in grouped.items():
+            partners = grouped.get(ones + 1, [])
+            for a in cubes:
+                for b in partners:
+                    merged = _merge_or_none(a, b)
+                    if merged is not None:
+                        next_level.add(merged)
+                        merged_from.add(a)
+                        merged_from.add(b)
+        primes |= current - merged_from
+        current = next_level
+    return sorted(primes)
+
+
+def _merge_or_none(a: str, b: str) -> Optional[str]:
+    """Distance-1 merge of cubes with identical '-' positions, else None."""
+    difference = -1
+    for position, (x, y) in enumerate(zip(a, b)):
+        if x == y:
+            continue
+        if x == "-" or y == "-":
+            return None
+        if difference != -1:
+            return None
+        difference = position
+    if difference == -1:
+        return None
+    return a[:difference] + "-" + a[difference + 1 :]
+
+
+def _select_cover(primes: List[str], on_set: Sequence[str]) -> List[str]:
+    """Minimum-cube (then minimum-literal) prime cover of the on-set."""
+    remaining = list(dict.fromkeys(on_set))
+    if not remaining:
+        return []
+    covering: Dict[str, List[int]] = {
+        minterm: [
+            index for index, prime in enumerate(primes) if cube_covers(prime, minterm)
+        ]
+        for minterm in remaining
+    }
+    for minterm, rows in covering.items():
+        if not rows:
+            raise LogicError(f"no prime covers on-set minterm {minterm!r}")
+
+    chosen: Set[int] = set()
+    # Essential primes + dominance until fixpoint.
+    while True:
+        changed = False
+        # Essential: a minterm covered by exactly one remaining prime.
+        for minterm in list(remaining):
+            rows = covering[minterm]
+            if len(rows) == 1:
+                chosen.add(rows[0])
+                covered = {
+                    m for m in remaining if cube_covers(primes[rows[0]], m)
+                }
+                remaining = [m for m in remaining if m not in covered]
+                changed = True
+        if not remaining:
+            break
+        # Recompute candidate structure on the residual problem.
+        active = sorted(
+            {index for minterm in remaining for index in covering[minterm]}
+            - chosen
+        )
+        prime_rows: Dict[int, FrozenSet[str]] = {
+            index: frozenset(
+                m for m in remaining if cube_covers(primes[index], m)
+            )
+            for index in active
+        }
+        # Column dominance: drop primes covering a subset at >= literal cost.
+        dropped: Set[int] = set()
+        for a in active:
+            if a in dropped:
+                continue
+            for b in active:
+                if a == b or b in dropped:
+                    continue
+                if prime_rows[a] < prime_rows[b] or (
+                    prime_rows[a] == prime_rows[b]
+                    and (
+                        cube_literals(primes[a]) > cube_literals(primes[b])
+                        or (
+                            cube_literals(primes[a]) == cube_literals(primes[b])
+                            and a > b
+                        )
+                    )
+                ):
+                    dropped.add(a)
+                    break
+        if dropped:
+            for minterm in remaining:
+                covering[minterm] = [
+                    index for index in covering[minterm] if index not in dropped
+                ]
+            changed = True
+        if not changed:
+            break
+
+    if remaining:
+        chosen |= _branch_and_bound(primes, remaining, covering, chosen)
+    return sorted(primes[index] for index in chosen)
+
+
+def _branch_and_bound(
+    primes: List[str],
+    remaining: List[str],
+    covering: Dict[str, List[int]],
+    already: Set[int],
+) -> Set[int]:
+    """Exact covering of the cyclic core (small by the time we get here)."""
+    best: List[Optional[Set[int]]] = [None]
+
+    def cost(selection: Set[int]) -> Tuple[int, int]:
+        return (
+            len(selection),
+            sum(cube_literals(primes[index]) for index in selection),
+        )
+
+    def recurse(uncovered: List[str], selection: Set[int]) -> None:
+        if best[0] is not None and cost(selection) >= cost(best[0]):
+            return
+        if not uncovered:
+            best[0] = set(selection)
+            return
+        # Branch on the hardest minterm (fewest options) for tight bounds.
+        pivot = min(
+            uncovered,
+            key=lambda minterm: len([i for i in covering[minterm] if i not in already]),
+        )
+        options = [index for index in covering[pivot] if index not in already]
+        options.sort(key=lambda index: -len(
+            [m for m in uncovered if cube_covers(primes[index], m)]
+        ))
+        for index in options:
+            new_selection = selection | {index}
+            new_uncovered = [
+                m for m in uncovered if not cube_covers(primes[index], m)
+            ]
+            recurse(new_uncovered, new_selection)
+
+    recurse(list(remaining), set())
+    if best[0] is None:
+        raise LogicError("covering failed (unreachable for consistent input)")
+    return best[0]
+
+
+def minimize_exact_reference(
+    on_set: Sequence[str], dc_set: Sequence[str], n_inputs: int
+) -> Cover:
+    """Exact minimum-cube cover, computed entirely on string cubes."""
+    if not on_set:
+        return Cover(n_inputs, ())
+    primes = prime_implicants_reference(on_set, dc_set, n_inputs)
+    selected = _select_cover(primes, list(on_set))
+    return Cover(n_inputs, tuple(selected))
+
+
+# ---------------------------------------------------------------------------
+# Heuristic minimization (espresso-style expand/irredundant loop)
+# ---------------------------------------------------------------------------
+
+
+def _expand_cube(cube: str, off_set: Sequence[str]) -> str:
+    """Free bound literals while the cube avoids every off-set minterm."""
+    current = cube
+    for position in range(len(cube)):
+        if current[position] == "-":
+            continue
+        trial = current[:position] + "-" + current[position + 1 :]
+        if not any(cubes_intersect(trial, off) for off in off_set):
+            current = trial
+    return current
+
+
+def _absorb(cubes: List[str]) -> List[str]:
+    """Remove cubes contained in another cube of the list."""
+    kept: List[str] = []
+    for cube in sorted(
+        dict.fromkeys(cubes), key=lambda c: c.count("-"), reverse=True
+    ):
+        if not any(cube_contains(other, cube) for other in kept):
+            kept.append(cube)
+    return kept
+
+
+def _irredundant(cubes: List[str], on_set: Sequence[str]) -> List[str]:
+    """Greedy removal of cubes not needed to cover the on-set."""
+    kept = list(cubes)
+    # Try to drop the most specific (fewest '-') cubes first.
+    for cube in sorted(list(kept), key=lambda c: c.count("-")):
+        others = [c for c in kept if c != cube]
+        if all(any(cube_covers(c, m) for c in others) for m in on_set):
+            kept = others
+    return kept
+
+
+def _supercube(minterms: Sequence[str], n_inputs: int) -> str:
+    """Smallest cube containing all the given minterms."""
+    chars = list(minterms[0])
+    for minterm in minterms[1:]:
+        for position, ch in enumerate(minterm):
+            if chars[position] != ch:
+                chars[position] = "-"
+    return "".join(chars)
+
+
+def _reduce(cubes: List[str], on_set: Sequence[str], n_inputs: int) -> List[str]:
+    """REDUCE pass: shrink each cube to the supercube of the on-set
+    minterms only it covers; a shrunk cube can expand differently on the
+    next pass, letting the loop escape local minima.
+
+    Cubes are processed sequentially against the *current* (partially
+    reduced) cover: each step either shrinks one cube around minterms the
+    rest does not cover, or drops a cube whose minterms the rest does
+    cover -- so the list remains a cover of the on-set throughout.
+    (Reducing all cubes against the original list simultaneously is
+    unsound: two cubes that mutually cover a minterm would both drop it.)
+    """
+    reduced = list(cubes)
+    position = 0
+    while position < len(reduced):
+        others = reduced[:position] + reduced[position + 1 :]
+        exclusive = [
+            minterm
+            for minterm in on_set
+            if cube_covers(reduced[position], minterm)
+            and not any(cube_covers(other, minterm) for other in others)
+        ]
+        if exclusive:
+            reduced[position] = _supercube(exclusive, n_inputs)
+            position += 1
+        else:
+            del reduced[position]  # fully covered by the rest (irredundant)
+    return reduced
+
+
+def minimize_heuristic_reference(
+    on_set: Sequence[str],
+    dc_set: Sequence[str],
+    n_inputs: int,
+    iterations: int = 2,
+) -> Cover:
+    """Espresso-style cover, computed entirely on string cubes."""
+    if not on_set:
+        return Cover(n_inputs, ())
+    care: Set[str] = set(on_set) | set(dc_set)
+    space = 2 ** n_inputs
+    # (Second deviation from the seed: ``format(0, "00b")`` is ``"0"``,
+    # not ``""``, so the seed fabricated a bogus off-set minterm for
+    # zero-input functions; the empty pattern keeps the oracle aligned
+    # with the packed engine there.)
+    off_set = [
+        pattern
+        for pattern in (
+            format(v, f"0{n_inputs}b") if n_inputs else ""
+            for v in range(space)
+        )
+        if pattern not in care
+    ]
+
+    def one_pass(cubes: List[str]) -> List[str]:
+        cubes = sorted(
+            dict.fromkeys(cubes), key=lambda c: c.count("-"), reverse=True
+        )
+        expanded = [_expand_cube(cube, off_set) for cube in cubes]
+        compact = _absorb(expanded)
+        return _irredundant(compact, list(on_set))
+
+    current = one_pass(list(dict.fromkeys(on_set)))
+    best = list(current)
+
+    def cost(cubes: List[str]):
+        return (len(cubes), sum(cube_literals(c) for c in cubes))
+
+    for _ in range(max(0, iterations - 1)):
+        reduced = _reduce(current, list(on_set), n_inputs)
+        if not reduced:
+            break
+        current = one_pass(reduced)
+        # Candidate covers must actually cover the on-set before they can
+        # compete on cost (EXPAND/IRREDUNDANT never add coverage, so a
+        # coverage hole would otherwise win on cube count and only be
+        # caught by verify_cover below).
+        if all(
+            any(cube_covers(cube, minterm) for cube in current)
+            for minterm in on_set
+        ) and cost(current) < cost(best):
+            best = list(current)
+
+    cover = Cover(n_inputs, tuple(sorted(best)))
+    verify_cover(cover, list(on_set), off_set)
+    return cover

@@ -24,6 +24,20 @@ accounting ablations:
 * memoisation of node evaluations keyed by the join (different subsets can
   produce the same relation).
 
+Two engines traverse the same tree.  The default is the bitset-native
+engine: partitions live as block bitmasks (:class:`~repro.partitions.
+kernel.BitsetKernel`), ``m`` is maintained *incrementally* along DFS edges
+through the join-homomorphism ``m(pi v rho) = m(pi) v m(rho)`` (m is the
+smallest half of a pair algebra, hence a complete join-morphism), and
+``M`` is only computed on nodes that survive the Lemma-1 test -- if
+``m(pi) ∩ pi ⊄ epsilon`` then no candidate can exist at the node, because
+``M(pi) ∩ pi ⊆ epsilon`` together with ``m(pi) ⊆ M(pi)`` would force the
+m-side condition.  ``reference=True`` (or the legacy ``fast=False``) runs
+the seed's label-tuple interpreters operator by operator instead; both
+produce identical solutions and identical search statistics (asserted by
+the equivalence tests and the Table-1 golden-stats file), only the wall
+clock differs.
+
 An optional ``policy="extended"`` additionally coarsens the m-side first
 factor greedily towards ``M(pi)`` while the intersection condition holds;
 the paper's procedure does not do this, and the ablation benchmark uses the
@@ -46,6 +60,7 @@ from .problem import OstrSolution, better, trivial_solution
 from .theorem1 import PipelineRealization, realize
 
 Labels = Tuple[int, ...]
+Masks = Tuple[int, ...]
 
 
 @dataclass
@@ -117,6 +132,7 @@ def search_ostr(
     policy: str = "paper",
     basis_order: str = "sorted",
     fast: bool = True,
+    reference: bool = False,
 ) -> OstrResult:
     """Solve OSTR for ``machine`` with the paper's depth-first procedure.
 
@@ -127,14 +143,15 @@ def search_ostr(
     returned and flagged (``result.exact == False``) -- this mirrors the
     ``tbk``/timeout row of Table 1.
 
-    ``fast=True`` (default) runs the partition algebra on the optimised
-    kernels: precomputed successor-row views (:class:`~repro.partitions.
-    kernel.SuccOps`), the fused ``meet_refines`` check, the canonical-label
-    join, and a memo of ``join(labels, basis[i])`` along the DFS edges so
-    each unique (join, basis-element) pair is computed once.  ``fast=False``
-    keeps the original operator-by-operator reference path; both produce
-    identical solutions and identical search statistics (asserted by the
-    equivalence tests), only the wall clock differs.
+    The default engine is bitset-native (see the module docstring): block
+    bitmasks from :func:`~repro.partitions.kernel.bitset_kernel`, ``m``
+    carried incrementally along DFS edges, ``M`` only on unpruned nodes,
+    and memo caches keyed by the canonical mask tuples for both node
+    evaluations and the ``join(pi, basis[i])`` DFS edges.  Pass
+    ``reference=True`` (or the legacy ``fast=False``) for the seed's
+    label-tuple operator-by-operator oracle; solutions and every search
+    statistic are identical across the engines, only the wall clock
+    differs.
     """
     if policy not in _POLICIES:
         raise SearchError(f"unknown policy {policy!r}; choose from {_POLICIES}")
@@ -159,24 +176,39 @@ def search_ostr(
     stats = SearchStats(basis_size=n_basis, tree_size=2 ** n_basis)
     best = trivial_solution(states)
 
-    if fast:
-        ops = kernel.SuccOps(succ)
-        m_of, big_m_of = ops.m, ops.big_m
-        refines = ops.refines
-        meet_refines = ops.meet_refines
-        join_of = kernel.join_canonical
-    else:
-        refines = kernel.refines
-        m_of = lambda labels: kernel.m_operator(succ, labels)  # noqa: E731
-        big_m_of = lambda labels: kernel.big_m_operator(succ, labels)  # noqa: E731
-        meet_refines = lambda a, b, eps: kernel.refines(  # noqa: E731
-            kernel.meet(a, b), eps
+    start_time = time.perf_counter()
+    deadline = None if time_limit is None else start_time + time_limit
+    if reference or not fast:
+        best = _run_reference(
+            machine, succ, states, epsilon, basis, stats, best,
+            prune, skip_redundant, node_limit, deadline, policy,
         )
-        join_of = kernel.join
+    else:
+        best = _run_bitset(
+            machine, succ, states, epsilon, basis, stats, best,
+            prune, skip_redundant, node_limit, deadline, policy,
+        )
+    stats.elapsed_seconds = time.perf_counter() - start_time
+    return OstrResult(machine=machine, solution=best, stats=stats, policy=policy)
 
-    # Memo tables: joins repeat across subsets, and m/M are pure in the join.
+
+def _run_reference(
+    machine, succ, states, epsilon, basis, stats, best,
+    prune, skip_redundant, node_limit, deadline, policy,
+):
+    """The seed's label-tuple DFS, kept verbatim as the equivalence oracle."""
+    n = machine.n_states
+    n_basis = len(basis)
+    refines = kernel.refines
+    m_of = lambda labels: kernel.m_operator(succ, labels)  # noqa: E731
+    big_m_of = lambda labels: kernel.big_m_operator(succ, labels)  # noqa: E731
+    meet_refines = lambda a, b, eps: kernel.refines(  # noqa: E731
+        kernel.meet(a, b), eps
+    )
+    join_of = kernel.join
+
+    # Memo table: joins repeat across subsets, and m/M are pure in the join.
     evaluation_cache: Dict[Labels, Tuple[List[Tuple[Labels, Labels]], bool]] = {}
-    join_cache: Dict[Tuple[Labels, int], Labels] = {}
 
     def evaluate(labels: Labels) -> Tuple[List[Tuple[Labels, Labels]], bool]:
         """Candidates at this join and whether Lemma 1 prunes the subtree."""
@@ -201,8 +233,6 @@ def search_ostr(
         evaluation_cache[labels] = outcome
         return outcome
 
-    start_time = time.perf_counter()
-    deadline = None if time_limit is None else start_time + time_limit
     root = kernel.identity(n)
     stack: List[Tuple[Labels, int]] = [(root, 0)]
 
@@ -233,27 +263,175 @@ def search_ostr(
             continue
 
         for child_index in range(n_basis - 1, next_index - 1, -1):
-            if fast:
-                # join(labels, b) == labels iff b <= labels: the redundancy
-                # test needs only a refinement scan, not the join itself.
-                if skip_redundant and refines(basis[child_index], labels):
-                    stats.skipped_redundant += 1
-                    continue
-                key = (labels, child_index)
-                child = join_cache.get(key)
-                if child is None:
-                    child = join_of(labels, basis[child_index])
-                    join_cache[key] = child
-            else:
-                child = join_of(labels, basis[child_index])
-                if skip_redundant and child == labels:
-                    stats.skipped_redundant += 1
-                    continue
+            child = join_of(labels, basis[child_index])
+            if skip_redundant and child == labels:
+                stats.skipped_redundant += 1
+                continue
             stack.append((child, child_index + 1))
 
     stats.unique_joins = len(evaluation_cache)
-    stats.elapsed_seconds = time.perf_counter() - start_time
-    return OstrResult(machine=machine, solution=best, stats=stats, policy=policy)
+    return best
+
+
+def _run_bitset(
+    machine, succ, states, epsilon, basis, stats, best,
+    prune, skip_redundant, node_limit, deadline, policy,
+):
+    """The bitset-native DFS: the production engine.
+
+    Same tree, same statistics as :func:`_run_reference`; the partition
+    algebra runs on block bitmasks in the *sparse* form (nontrivial
+    blocks only, singletons implied -- see the kernel module) with three
+    structural savings:
+
+    * ``m(pi)`` is carried down DFS edges as ``join(m(parent),
+      m(basis[i]))`` -- m is a join-morphism, so no node recomputes the
+      full successor-image closure;
+    * ``M(pi)`` is only computed on nodes that pass the Lemma-1 test
+      (``m(pi) ∩ pi ⊆ epsilon``): for a failing node ``meet(M(pi), pi) ⊆
+      epsilon`` would imply the m-side condition via ``m(pi) ⊆ M(pi)``,
+      so no candidate exists and the subtree is pruned without touching
+      ``M`` -- on the Table-1 machines ~99% of investigated nodes prune;
+    * a fully redundant DFS edge (``basis[i] <= pi``) returns the parent
+      object itself from the join, so the ``skip_redundant`` test is an
+      identity check instead of a join-and-compare.
+    """
+    kern = kernel.bitset_kernel(succ)
+    n_basis = len(basis)
+    basis_masks = [kern.from_labels(b) for b in basis]
+    basis_m = [kern.m(bm) for bm in basis_masks]
+    # The basis in sparse form: nontrivial blocks double as the join
+    # constraint tuples for the DFS edges.
+    basis_nt = [kern.nontrivial(masks) for masks in basis_masks]
+    basis_m_nt = [kern.nontrivial(masks) for masks in basis_m]
+    eps_owner = kern.arrays(kern.from_labels(epsilon))[1]
+    from_sparse = kern.from_sparse
+    to_labels = kern.to_labels
+    sparse_owner = kern.sparse_owner
+    join_sparse = kern.join_sparse
+    extended = policy == "extended"
+
+    # Memo tables: node evaluations are keyed by the sparse mask tuple
+    # (one small-tuple hash per investigated node); each entry carries the
+    # node's m image (so expansion gets it for free on cache hits) and a
+    # dense node id, which keys the join(pi, basis[i]) DFS-edge memo as a
+    # single small int -- far cheaper to hash than the mask tuples.
+    evaluation_cache: Dict[Masks, Tuple[list, bool, Masks, int, Masks]] = {}
+    join_cache: Dict[int, Masks] = {}
+    eval_get = evaluation_cache.get
+    join_get = join_cache.get
+
+    investigated = 0
+    candidates_evaluated = 0
+    improvements = 0
+    pruned_subtrees = 0
+    skipped_redundant = 0
+    limit = float("inf") if node_limit is None else node_limit
+
+    root: Masks = ()  # sparse identity: no nontrivial blocks
+    stack: List[tuple] = [(root, None, 0, 0)]
+    push = stack.append
+    pop = stack.pop
+
+    while stack:
+        if investigated >= limit:
+            stats.node_limit_hit = True
+            break
+        if deadline is not None and not investigated & 127:
+            if time.perf_counter() > deadline:
+                stats.timed_out = True
+                break
+        masks, parent_mu, via_index, next_index = pop()
+        investigated += 1
+
+        entry = eval_get(masks)
+        if entry is None:
+            if parent_mu is None:  # root: m(identity) computed outright
+                mu = tuple(
+                    m for m in kern.m(from_sparse(masks)) if m & (m - 1)
+                )
+            else:  # incremental: m(pi v basis[i]) == m(pi) v m(basis[i])
+                mu = join_sparse(parent_mu, basis_m_nt[via_index])
+            # Lemma-1 test m(pi) ∩ pi ⊆ epsilon: in sparse form every
+            # block is nontrivial, and only multi-element intersections
+            # can escape an epsilon block.
+            m_side_ok = True
+            for am in mu:
+                for bm in masks:
+                    x = am & bm
+                    if x & (x - 1):
+                        if x & ~eps_owner[(x & -x).bit_length() - 1]:
+                            m_side_ok = False
+                            break
+                if not m_side_ok:
+                    break
+            if not m_side_ok:
+                # No candidate can exist here (see the docstring): prune
+                # without computing M at all.
+                entry = ((), True, mu, len(evaluation_cache), masks)
+            else:
+                full = from_sparse(masks)
+                mu_full = from_sparse(mu)
+                big = kern.big_m(full)
+                candidates: List[Tuple[Labels, Labels]] = []
+                if kern.refines(mu_full, big):  # symmetry of the Mm-pair
+                    labels = to_labels(full)
+                    if kern.meet_refines_owner(big, full, eps_owner):
+                        candidates.append((to_labels(big), labels))
+                    else:  # m side is known to hold here
+                        candidates.append((to_labels(mu_full), labels))
+                    if extended:
+                        candidates.extend(
+                            _extended_candidates(
+                                succ, to_labels(mu_full), to_labels(big),
+                                labels, epsilon,
+                            )
+                        )
+                entry = (candidates, False, mu, len(evaluation_cache), masks)
+            evaluation_cache[masks] = entry
+
+        # The interned masks object replaces the popped one: value-equal
+        # joins reached over different DFS paths are distinct tuples, and
+        # the ``child is masks`` redundancy test below needs the one
+        # object the join memo was built against.
+        candidates, prunable, mu, node_id, masks = entry
+        if candidates:
+            for pi_labels, theta_labels in candidates:
+                candidates_evaluated += 1
+                candidate = OstrSolution(
+                    pi=Partition(states, pi_labels),
+                    theta=Partition(states, theta_labels),
+                )
+                if better(candidate, best):
+                    best = candidate
+                    improvements += 1
+
+        if prune and prunable:
+            pruned_subtrees += 1
+            continue
+
+        if next_index < n_basis:
+            owner = sparse_owner(masks)
+            edge_base = node_id * n_basis
+            for child_index in range(n_basis - 1, next_index - 1, -1):
+                key = edge_base + child_index
+                child = join_get(key)
+                if child is None:
+                    child = join_sparse(masks, basis_nt[child_index], owner)
+                    join_cache[key] = child
+                if child is masks:  # basis[i] <= pi: redundant edge
+                    if skip_redundant:
+                        skipped_redundant += 1
+                        continue
+                push((child, mu, child_index, child_index + 1))
+
+    stats.investigated += investigated
+    stats.candidates_evaluated += candidates_evaluated
+    stats.improvements += improvements
+    stats.pruned_subtrees += pruned_subtrees
+    stats.skipped_redundant += skipped_redundant
+    stats.unique_joins = len(evaluation_cache)
+    return best
 
 
 def _color_coarsen(

@@ -221,6 +221,12 @@ def search_with_splitting(
     Greedy: accepts the first-best improving split each round.  The cost
     comparison is on the OSTR cost key (flip-flops, then factor sizes, then
     balance), so a split is only accepted when it strictly helps.
+
+    Every inner search runs on the bitset-native engine by default (one
+    OSTR search per candidate split makes this the engine's heaviest
+    caller); pass ``search_options={"reference": True}`` to run the whole
+    exploration on the label-tuple oracle instead -- accepted splits and
+    costs are identical either way.
     """
     if max_splits < 0:
         raise SearchError("max_splits must be non-negative")

@@ -130,12 +130,16 @@ def realize(
     if pi.universe != spec.states or theta.universe != spec.states:
         raise RealizationError("partition universes must equal the machine states")
     succ = spec.succ_table
-    if not kernel.is_pair(succ, pi.labels, theta.labels):
+    # Hypothesis checks run on the machine's shared bitset kernel: the
+    # search that produced (pi, theta) used the same kernel, so these are
+    # memo hits rather than fresh label scans.
+    kern = kernel.bitset_kernel(succ)
+    if not kern.is_pair_labels(pi.labels, theta.labels):
         raise RealizationError("(pi, theta) is not a partition pair")
-    if not kernel.is_pair(succ, theta.labels, pi.labels):
+    if not kern.is_pair_labels(theta.labels, pi.labels):
         raise RealizationError("(pi, theta) is not symmetric ((theta, pi) fails)")
     epsilon = equivalence_labels(spec)
-    if not kernel.refines(kernel.meet(pi.labels, theta.labels), epsilon):
+    if not kern.meet_refines_labels(pi.labels, theta.labels, epsilon):
         raise RealizationError(
             "pi ∩ theta does not refine the state equivalence epsilon; "
             "lambda* would be ill-defined"

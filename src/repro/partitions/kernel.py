@@ -1,34 +1,53 @@
-"""Low-level partition operations on canonical label tuples.
+"""Low-level partition operations: canonical label tuples and block bitsets.
 
 The OSTR depth-first search evaluates partition-algebra operators at every
 node of a potentially very large search tree, so the inner loop avoids
-objects entirely.  A partition of ``{0, .., n-1}`` is represented as a
-*canonical label tuple*: ``labels[i]`` is the block id of element ``i`` and
-block ids are assigned in order of first occurrence (``labels[0] == 0``, a
-new id is always exactly one larger than the current maximum).  This is the
-"restricted growth string" normal form, so structural equality of partitions
-is plain tuple equality and tuples are directly hashable for memo tables.
+objects entirely.  Two interchangeable representations of a partition of
+``{0, .., n-1}`` are provided:
+
+* a *canonical label tuple*: ``labels[i]`` is the block id of element ``i``
+  and block ids are assigned in order of first occurrence (``labels[0] ==
+  0``, a new id is always exactly one larger than the current maximum).
+  This is the "restricted growth string" normal form, so structural
+  equality of partitions is plain tuple equality and tuples are directly
+  hashable for memo tables.  The pure functions of this module
+  (:func:`meet`, :func:`join`, :func:`refines`, :func:`m_operator`,
+  :func:`big_m_operator`, ...) operate on this form and are the *reference
+  oracle* for everything faster;
+
+* a *canonical mask tuple*: one Python-int bitmask per block (bit ``i``
+  set iff element ``i`` is in the block), ordered by lowest set bit --
+  which coincides with first-occurrence label order, so the two forms are
+  bijective (:func:`labels_to_masks` / :func:`masks_to_labels`).  The
+  :class:`BitsetLattice` / :class:`BitsetKernel` classes implement the
+  same algebra word-parallel on this form (AND/OR/popcount over whole
+  blocks at once) with per-universe and per-``SuccTable`` memo caches;
+  the production search and the :class:`~repro.partitions.partition.
+  Partition` call sites route through them.
 
 Machine transition structure enters through a *successor table*
 ``succ[s][i]`` giving the next-state index of state ``s`` under input ``i``.
 The two operators of algebraic structure theory (Hartmanis/Stearns, as used
-by the paper) are provided here:
+by the paper) are provided in both representations:
 
-* :func:`m_operator` -- the smallest equivalence ``m(pi)`` such that
-  ``(pi, m(pi))`` is a partition pair,
-* :func:`big_m_operator` -- the largest equivalence ``M(theta)`` such that
-  ``(M(theta), theta)`` is a partition pair.
+* ``m`` -- the smallest equivalence ``m(pi)`` such that ``(pi, m(pi))`` is
+  a partition pair (:func:`m_operator` / :meth:`BitsetKernel.m`),
+* ``M`` -- the largest equivalence ``M(theta)`` such that ``(M(theta),
+  theta)`` is a partition pair (:func:`big_m_operator` /
+  :meth:`BitsetKernel.big_m`).
 
-All functions are pure and side-effect free.
+The module-level functions are pure and side-effect free; the bitset
+classes are immutable except for their internal memo caches.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .unionfind import UnionFind
 
 Labels = Tuple[int, ...]
+Masks = Tuple[int, ...]
 SuccTable = Sequence[Sequence[int]]
 
 
@@ -186,178 +205,6 @@ def meet_refines(a: Labels, b: Labels, bound: Labels) -> bool:
     return True
 
 
-def _canonical_from_parents(parent: List[int]) -> Labels:
-    """First-occurrence canonical labels of an inline union-find forest."""
-    n = len(parent)
-    mapping = [-1] * n
-    out = [0] * n
-    next_label = 0
-    for element in range(n):
-        root = element
-        while parent[root] != root:
-            parent[root] = parent[parent[root]]
-            root = parent[root]
-        label = mapping[root]
-        if label < 0:
-            label = next_label
-            mapping[root] = label
-            next_label += 1
-        out[element] = label
-    return tuple(out)
-
-
-def join_canonical(a: Labels, b: Labels) -> Labels:
-    """Lattice join specialised for canonical label tuples.
-
-    Identical result to :func:`join`; block-id-indexed first-occurrence
-    arrays replace the dict lookups (canonical ids are dense, bounded by
-    ``n``) and the union-find is inlined with path halving -- the
-    depth-first OSTR search performs one join per tree edge, so call
-    overhead here is a top-line cost of Table 1.
-    """
-    n = len(a)
-    parent = list(range(n))
-    for labels in (a, b):
-        first = [-1] * n
-        for element in range(n):
-            label = labels[element]
-            anchor = first[label]
-            if anchor < 0:
-                first[label] = element
-                continue
-            x, y = anchor, element
-            while parent[x] != x:
-                parent[x] = parent[parent[x]]
-                x = parent[x]
-            while parent[y] != y:
-                parent[y] = parent[parent[y]]
-                y = parent[y]
-            if x != y:
-                parent[y if y > x else x] = x if y > x else y
-    return _canonical_from_parents(parent)
-
-
-class SuccOps:
-    """Precomputed successor-table views for the partition-algebra hot path.
-
-    Flattens the (possibly list-of-list) successor table into row tuples
-    once, so the ``m``/``M`` operators iterate with ``zip``/``map`` over
-    interned tuples instead of indexing nested sequences.  Results are
-    identical to :func:`m_operator` / :func:`big_m_operator` (the property
-    tests compare them exhaustively); only constant factors change.
-    """
-
-    __slots__ = (
-        "n",
-        "n_inputs",
-        "rows",
-        "_mark",
-        "_value",
-        "_pair_mark",
-        "_pair_value",
-        "_generation",
-    )
-
-    def __init__(self, succ: SuccTable) -> None:
-        self.rows: Tuple[Tuple[int, ...], ...] = tuple(tuple(row) for row in succ)
-        self.n = len(self.rows)
-        self.n_inputs = len(self.rows[0]) if self.rows else 0
-        # Generation-marked scratch arrays: validity is encoded in the mark,
-        # so the refinement scans never pay to clear their state.
-        self._mark = [0] * self.n
-        self._value = [0] * self.n
-        self._pair_mark = [0] * (self.n * self.n)
-        self._pair_value = [0] * (self.n * self.n)
-        self._generation = 0
-
-    def refines(self, a: Labels, b: Labels) -> bool:
-        """Scratch-array :func:`refines` (canonical inputs, no dict traffic)."""
-        generation = self._generation = self._generation + 1
-        mark = self._mark
-        value = self._value
-        for la, lb in zip(a, b):
-            if mark[la] != generation:
-                mark[la] = generation
-                value[la] = lb
-            elif value[la] != lb:
-                return False
-        return True
-
-    def meet_refines(self, a: Labels, b: Labels, bound: Labels) -> bool:
-        """Scratch-array :func:`meet_refines` over dense ``(a, b)`` pair keys."""
-        generation = self._generation = self._generation + 1
-        mark = self._pair_mark
-        value = self._pair_value
-        n = self.n
-        for la, lb, limit in zip(a, b, bound):
-            key = la * n + lb
-            if mark[key] != generation:
-                mark[key] = generation
-                value[key] = limit
-            elif value[key] != limit:
-                return False
-        return True
-
-    def m(self, labels: Labels) -> Labels:
-        """Fast :func:`m_operator` over the precomputed rows.
-
-        Inline path-halving union-find over successor pairs; identical
-        output, none of the per-union call overhead (the OSTR search makes
-        millions of unions on the Table-1 machines).
-        """
-        n = self.n
-        parent = list(range(n))
-        rows = self.rows
-        representative = [-1] * n
-        for state in range(n):
-            label = labels[state]
-            rep = representative[label]
-            if rep < 0:
-                representative[label] = state
-                continue
-            for x, y in zip(rows[rep], rows[state]):
-                while parent[x] != x:
-                    parent[x] = parent[parent[x]]
-                    x = parent[x]
-                while parent[y] != y:
-                    parent[y] = parent[parent[y]]
-                    y = parent[y]
-                if x != y:
-                    parent[y if y > x else x] = x if y > x else y
-        return _canonical_from_parents(parent)
-
-    def big_m(self, labels: Labels) -> Labels:
-        """Fast :func:`big_m_operator` over the precomputed rows.
-
-        Successor signatures are folded into a single integer (base ``n``
-        positional code) instead of a tuple: equality of codes is equality
-        of signatures, and int keys hash far faster than tuples.
-        """
-        mapping: Dict[int, int] = {}
-        get = mapping.get
-        n = self.n
-        out: List[int] = []
-        if self.n_inputs == 2:  # dominant case in the benchmark suite
-            for first, second in self.rows:
-                signature = labels[first] * n + labels[second]
-                label = get(signature)
-                if label is None:
-                    label = len(mapping)
-                    mapping[signature] = label
-                out.append(label)
-            return tuple(out)
-        for row in self.rows:
-            signature = 0
-            for next_state in row:
-                signature = signature * n + labels[next_state]
-            label = get(signature)
-            if label is None:
-                label = len(mapping)
-                mapping[signature] = label
-            out.append(label)
-        return tuple(out)
-
-
 def meet_is_identity(a: Labels, b: Labels) -> bool:
     """Fast check that ``a ∧ b`` is the identity partition."""
     seen = set()
@@ -440,6 +287,500 @@ def is_pair(succ: SuccTable, a: Labels, b: Labels) -> bool:
 def is_symmetric_pair(succ: SuccTable, a: Labels, b: Labels) -> bool:
     """Is ``(a, b)`` a symmetric partition pair (both orders are pairs)?"""
     return is_pair(succ, a, b) and is_pair(succ, b, a)
+
+
+# ---------------------------------------------------------------------------
+# Bitset-native partition algebra
+# ---------------------------------------------------------------------------
+
+
+def labels_to_masks(labels: Sequence[int]) -> Masks:
+    """Canonical label tuple -> canonical mask tuple (one int per block).
+
+    Block ``k``'s mask has bit ``i`` set iff ``labels[i] == k``.  Canonical
+    first-occurrence label order is exactly ascending lowest-set-bit order
+    of the masks, so the conversion is a bijection on canonical forms.
+    """
+    if not labels:
+        return ()
+    out = [0] * (max(labels) + 1)
+    bit = 1
+    for label in labels:
+        out[label] |= bit
+        bit <<= 1
+    return tuple(out)
+
+
+def masks_to_labels(masks: Masks, n: int) -> Labels:
+    """Canonical mask tuple -> canonical label tuple (inverse conversion)."""
+    out = [0] * n
+    for index, mask in enumerate(masks):
+        rest = mask
+        while rest:
+            low = rest & -rest
+            out[low.bit_length() - 1] = index
+            rest ^= low
+    return tuple(out)
+
+
+_LOWBIT_KEY = (lambda mask: mask & -mask)
+
+
+class BitsetLattice:
+    """Word-parallel partition lattice over a fixed ``n``-element universe.
+
+    Partitions are canonical mask tuples; every operation touches whole
+    blocks with single big-int AND/OR/subset instructions instead of
+    per-element label scans.  Derived per-partition structure (the
+    nontrivial blocks, the element->block arrays, the label form) is memo
+    cached keyed by the masks tuple, because the same operands recur
+    constantly in the OSTR search and in :class:`~repro.partitions.
+    partition.Partition` call sites.  Caches self-clear past a size limit
+    so long campaigns cannot grow them without bound.
+    """
+
+    __slots__ = (
+        "n",
+        "identity_masks",
+        "one_masks",
+        "_nontrivial",
+        "_arrays",
+        "_masks_of",
+        "_labels_of",
+        "_sparse_owners",
+    )
+
+    _CACHE_LIMIT = 1 << 17
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.identity_masks: Masks = tuple(1 << i for i in range(n))
+        self.one_masks: Masks = ((1 << n) - 1,) if n else ()
+        self._nontrivial: Dict[Masks, Tuple[int, ...]] = {}
+        self._arrays: Dict[Masks, Tuple[List[int], List[int]]] = {}
+        self._masks_of: Dict[Labels, Masks] = {}
+        self._labels_of: Dict[Masks, Labels] = {}
+        self._sparse_owners: Dict[Masks, List[int]] = {}
+
+    # -- conversions and cached structure views -----------------------------
+
+    def from_labels(self, labels: Labels) -> Masks:
+        """Cached :func:`labels_to_masks` (labels must be canonical)."""
+        masks = self._masks_of.get(labels)
+        if masks is None:
+            if len(self._masks_of) >= self._CACHE_LIMIT:
+                self._masks_of.clear()
+            masks = self._masks_of[labels] = labels_to_masks(labels)
+        return masks
+
+    def to_labels(self, masks: Masks) -> Labels:
+        """Cached :func:`masks_to_labels`."""
+        labels = self._labels_of.get(masks)
+        if labels is None:
+            if len(self._labels_of) >= self._CACHE_LIMIT:
+                self._labels_of.clear()
+            labels = self._labels_of[masks] = masks_to_labels(masks, self.n)
+        return labels
+
+    def nontrivial(self, masks: Masks) -> Tuple[int, ...]:
+        """The blocks with more than one element (all others are inert)."""
+        nt = self._nontrivial.get(masks)
+        if nt is None:
+            if len(self._nontrivial) >= self._CACHE_LIMIT:
+                self._nontrivial.clear()
+            nt = self._nontrivial[masks] = tuple(
+                mask for mask in masks if mask & (mask - 1)
+            )
+        return nt
+
+    def arrays(self, masks: Masks) -> Tuple[List[int], List[int]]:
+        """Per-element views: ``labels[i]`` block index, ``owner[i]`` block mask."""
+        entry = self._arrays.get(masks)
+        if entry is None:
+            if len(self._arrays) >= self._CACHE_LIMIT:
+                self._arrays.clear()
+            labels = [0] * self.n
+            owner = [0] * self.n
+            for index, mask in enumerate(masks):
+                rest = mask
+                while rest:
+                    low = rest & -rest
+                    element = low.bit_length() - 1
+                    labels[element] = index
+                    owner[element] = mask
+                    rest ^= low
+            entry = self._arrays[masks] = (labels, owner)
+        return entry
+
+    # -- the sparse (nontrivial-blocks-only) representation -----------------
+    #
+    # A partition is equally determined by its nontrivial blocks alone
+    # (every uncovered element is a singleton).  The OSTR search runs on
+    # this form: deep search nodes have few nontrivial blocks, so joins
+    # assemble tuples of a handful of masks instead of ~n.
+
+    def from_sparse(self, sparse: Masks) -> Masks:
+        """Nontrivial-blocks form -> full canonical mask tuple."""
+        covered = 0
+        for mask in sparse:
+            covered |= mask
+        out = list(sparse)
+        rest = (self.one_masks[0] & ~covered) if self.n else 0
+        while rest:
+            low = rest & -rest
+            out.append(low)
+            rest ^= low
+        out.sort(key=_LOWBIT_KEY)
+        return tuple(out)
+
+    def sparse_owner(self, sparse: Masks) -> List[int]:
+        """Owner array of a nontrivial-blocks partition (cached)."""
+        owner = self._sparse_owners.get(sparse)
+        if owner is None:
+            if len(self._sparse_owners) >= self._CACHE_LIMIT:
+                self._sparse_owners.clear()
+            owner = [1 << i for i in range(self.n)]
+            for mask in sparse:
+                rest = mask
+                while rest:
+                    low = rest & -rest
+                    owner[low.bit_length() - 1] = mask
+                    rest ^= low
+            self._sparse_owners[sparse] = owner
+        return owner
+
+    @staticmethod
+    def _resolve_constraints(
+        owner: List[int], constraints: Sequence[int]
+    ) -> Optional[List[int]]:
+        """Resolve constraint masks through ``owner`` into merged masks.
+
+        The shared core of :meth:`join_constraints` and :meth:`join_sparse`:
+        each constraint visits one representative bit per distinct block
+        (the rest cleared with a single AND) and accumulates the union of
+        the blocks it touches; constraints already inside one block are
+        dropped, and overlapping accumulated masks are unioned.  Returns
+        ``None`` when every constraint was a no-op (the join is ``base``).
+        """
+        merged: Optional[List[int]] = None
+        for constraint in constraints:
+            rest = constraint
+            block = owner[(rest & -rest).bit_length() - 1]
+            acc = block
+            rest &= ~block
+            if not rest:
+                continue  # constraint already inside one block: no-op
+            while rest:
+                block = owner[(rest & -rest).bit_length() - 1]
+                acc |= block
+                rest &= ~block
+            if merged is None:
+                merged = [acc]
+                continue
+            for i in range(len(merged) - 1, -1, -1):
+                other = merged[i]
+                if other & acc:
+                    acc |= other
+                    del merged[i]
+            merged.append(acc)
+        return merged
+
+    def join_sparse(
+        self,
+        base: Masks,
+        constraints: Sequence[int],
+        owner: Optional[List[int]] = None,
+    ) -> Masks:
+        """:meth:`join_constraints` on the nontrivial-blocks representation.
+
+        Identical merge logic, but the assembly only walks the nontrivial
+        blocks: absorbed ones are dropped, each merged mask is inserted,
+        and the small result list is re-sorted into canonical lowest-bit
+        order.  A fully redundant call returns ``base`` itself.
+        """
+        if not constraints:
+            return base
+        if owner is None:
+            owner = self.sparse_owner(base)
+        merged = self._resolve_constraints(owner, constraints)
+        if merged is None:
+            return base
+        union = 0
+        for acc in merged:
+            union |= acc
+        out = [mask for mask in base if not mask & union]
+        out += merged
+        out.sort(key=_LOWBIT_KEY)
+        return tuple(out)
+
+    # -- lattice operations -------------------------------------------------
+
+    def meet(self, a: Masks, b: Masks) -> Masks:
+        """Coarsest common refinement: split every block of ``a`` by ``b``."""
+        if a == b:
+            return a
+        owner_b = self.arrays(b)[1]
+        out: List[int] = []
+        for am in a:
+            if am & (am - 1):
+                rest = am
+                while rest:
+                    low = rest & -rest
+                    block = rest & owner_b[low.bit_length() - 1]
+                    out.append(block)
+                    rest ^= block
+            else:
+                out.append(am)
+        out.sort(key=_LOWBIT_KEY)
+        return tuple(out)
+
+    def join_constraints(
+        self,
+        base: Masks,
+        constraints: Sequence[int],
+        owner: Optional[List[int]] = None,
+    ) -> Masks:
+        """Coarsen ``base`` until every constraint mask lies inside one block.
+
+        The workhorse behind :meth:`join` and :meth:`BitsetKernel.m`, and
+        the hot form for the search (which passes each basis element's
+        pre-extracted nontrivial blocks).  Each constraint's reach is
+        resolved through the owner array into one merged mask -- visiting
+        a single representative bit per distinct block, the rest cleared
+        with one AND -- overlapping merged masks are unioned, and the
+        result is assembled in canonical order by emitting each merged
+        mask in place of its lowest block.  Constraints already inside one
+        block are dropped on the fly, so a fully redundant call returns
+        ``base`` itself without rebuilding it.
+        """
+        if not constraints:
+            return base
+        if owner is None:
+            owner = self.arrays(base)[1]
+        merged = self._resolve_constraints(owner, constraints)
+        if merged is None:
+            return base
+        # Every base block is either disjoint from the merged region or a
+        # subset of exactly one merged mask; emit each merged mask in
+        # place of its lowest block and drop the other absorbed blocks.
+        union = 0
+        lows: Dict[int, int] = {}
+        for acc in merged:
+            union |= acc
+            lows[acc & -acc] = acc
+        return tuple(
+            lows[mask & -mask] if mask & union else mask
+            for mask in base
+            if not mask & union or (mask & -mask) in lows
+        )
+
+    def join(self, a: Masks, b: Masks) -> Masks:
+        """Finest common coarsening: merge ``a``-blocks along ``b``'s blocks."""
+        if a == b:
+            return a
+        return self.join_constraints(a, self.nontrivial(b))
+
+    def refines(self, a: Masks, b: Masks) -> bool:
+        """``a <= b``: every (nontrivial) block of ``a`` inside a ``b`` block."""
+        if a == b:
+            return True
+        owner_b = self.arrays(b)[1]
+        for am in self.nontrivial(a):
+            low = am & -am
+            if am & ~owner_b[low.bit_length() - 1]:
+                return False
+        return True
+
+    def meet_refines(self, a: Masks, b: Masks, bound: Masks) -> bool:
+        """Fused ``refines(meet(a, b), bound)`` without materialising the meet."""
+        return self.meet_refines_owner(a, b, self.arrays(bound)[1])
+
+    def meet_refines_owner(
+        self, a: Masks, b: Masks, bound_owner: List[int]
+    ) -> bool:
+        """:meth:`meet_refines` against a precomputed bound owner array.
+
+        Only multi-element intersections can violate the bound, so the scan
+        walks nontrivial-block pairs and tests each intersection against
+        the bound block of its lowest element with one subset instruction.
+        """
+        nt_b = self.nontrivial(b)
+        for am in self.nontrivial(a):
+            for bm in nt_b:
+                x = am & bm
+                if x & (x - 1):
+                    if x & ~bound_owner[(x & -x).bit_length() - 1]:
+                        return False
+        return True
+
+    # -- label-level wrappers (Partition and friends) -----------------------
+
+    def meet_labels(self, a: Labels, b: Labels) -> Labels:
+        return self.to_labels(self.meet(self.from_labels(a), self.from_labels(b)))
+
+    def join_labels(self, a: Labels, b: Labels) -> Labels:
+        return self.to_labels(self.join(self.from_labels(a), self.from_labels(b)))
+
+    def refines_labels(self, a: Labels, b: Labels) -> bool:
+        return self.refines(self.from_labels(a), self.from_labels(b))
+
+
+class BitsetKernel(BitsetLattice):
+    """Machine-bound bitset partition algebra (the paper's Mm operators).
+
+    Binds :class:`BitsetLattice` to one successor table: successor bits
+    (``1 << succ[s][i]``) and per-input preimage masks are precomputed
+    once, and ``m``/``big_m`` results are memo cached per partition -- the
+    OSTR search, Theorem-1 verification and the ``pairs``/``mm`` helpers
+    all share one kernel per machine through :func:`bitset_kernel`.
+    """
+
+    __slots__ = ("rows", "n_inputs", "succ_bits", "_pre", "_m_cache", "_big_m_cache")
+
+    def __init__(self, succ: SuccTable) -> None:
+        rows = tuple(tuple(row) for row in succ)
+        super().__init__(len(rows))
+        self.rows = rows
+        self.n_inputs = len(rows[0]) if rows else 0
+        self.succ_bits: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(1 << target for target in row) for row in rows
+        )
+        pre = [[0] * self.n for _ in range(self.n_inputs)]
+        for state, row in enumerate(rows):
+            bit = 1 << state
+            for i, target in enumerate(row):
+                pre[i][target] |= bit
+        self._pre: Tuple[Tuple[int, ...], ...] = tuple(tuple(p) for p in pre)
+        self._m_cache: Dict[Masks, Masks] = {}
+        self._big_m_cache: Dict[Masks, Masks] = {}
+
+    def image(self, mask: int, i: int) -> int:
+        """Successor image of a state set under input ``i``, as a mask."""
+        succ_bits = self.succ_bits
+        out = 0
+        rest = mask
+        while rest:
+            low = rest & -rest
+            out |= succ_bits[low.bit_length() - 1][i]
+            rest ^= low
+        return out
+
+    def m(self, masks: Masks) -> Masks:
+        """Bitset :func:`m_operator`: close the successor images of blocks.
+
+        Every nontrivial block contributes one image mask per input; the
+        result is the identity partition coarsened until each image lies
+        inside one block.  Memoised per partition.
+        """
+        cached = self._m_cache.get(masks)
+        if cached is not None:
+            return cached
+        if len(self._m_cache) >= self._CACHE_LIMIT:
+            self._m_cache.clear()
+        constraints: List[int] = []
+        n_inputs = self.n_inputs
+        for bm in self.nontrivial(masks):
+            for i in range(n_inputs):
+                img = self.image(bm, i)
+                if img & (img - 1):
+                    constraints.append(img)
+        result = self.join_constraints(self.identity_masks, constraints)
+        self._m_cache[masks] = result
+        return result
+
+    def big_m(self, masks: Masks) -> Masks:
+        """Bitset :func:`big_m_operator` via word-parallel preimages.
+
+        ``M(theta)`` is the meet over inputs of the preimage partitions
+        ``{ delta_i^{-1}(B) | B in theta }``; each preimage block is an OR
+        of per-target preimage masks.  Memoised per partition.
+        """
+        cached = self._big_m_cache.get(masks)
+        if cached is not None:
+            return cached
+        if len(self._big_m_cache) >= self._CACHE_LIMIT:
+            self._big_m_cache.clear()
+        if self.n_inputs == 0:
+            result = self.one_masks
+        else:
+            result = None
+            for i in range(self.n_inputs):
+                pre_i = self._pre[i]
+                blocks: List[int] = []
+                for tb in masks:
+                    pm = 0
+                    rest = tb
+                    while rest:
+                        low = rest & -rest
+                        pm |= pre_i[low.bit_length() - 1]
+                        rest ^= low
+                    if pm:
+                        blocks.append(pm)
+                blocks.sort(key=_LOWBIT_KEY)
+                part = tuple(blocks)
+                result = part if result is None else self.meet(result, part)
+        self._big_m_cache[masks] = result
+        return result
+
+    def is_pair(self, a: Masks, b: Masks) -> bool:
+        """Definition 4 on masks: each ``a``-block's images stay in ``b`` blocks."""
+        owner_b = self.arrays(b)[1]
+        for am in self.nontrivial(a):
+            for i in range(self.n_inputs):
+                img = self.image(am, i)
+                if img & ~owner_b[(img & -img).bit_length() - 1]:
+                    return False
+        return True
+
+    def is_symmetric_pair(self, a: Masks, b: Masks) -> bool:
+        return self.is_pair(a, b) and self.is_pair(b, a)
+
+    # -- label-level wrappers -----------------------------------------------
+
+    def m_labels(self, labels: Labels) -> Labels:
+        return self.to_labels(self.m(self.from_labels(labels)))
+
+    def big_m_labels(self, labels: Labels) -> Labels:
+        return self.to_labels(self.big_m(self.from_labels(labels)))
+
+    def is_pair_labels(self, a: Labels, b: Labels) -> bool:
+        return self.is_pair(self.from_labels(a), self.from_labels(b))
+
+    def meet_refines_labels(self, a: Labels, b: Labels, bound: Labels) -> bool:
+        return self.meet_refines(
+            self.from_labels(a), self.from_labels(b), self.from_labels(bound)
+        )
+
+
+_LATTICES: Dict[int, BitsetLattice] = {}
+_KERNELS: Dict[Tuple[Tuple[int, ...], ...], BitsetKernel] = {}
+_KERNEL_LIMIT = 64
+
+
+def bitset_lattice(n: int) -> BitsetLattice:
+    """The shared per-universe-size :class:`BitsetLattice` instance."""
+    lattice = _LATTICES.get(n)
+    if lattice is None:
+        if len(_LATTICES) >= _KERNEL_LIMIT:
+            _LATTICES.clear()
+        lattice = _LATTICES[n] = BitsetLattice(n)
+    return lattice
+
+
+def bitset_kernel(succ: SuccTable) -> BitsetKernel:
+    """The shared per-successor-table :class:`BitsetKernel` instance.
+
+    Sharing matters: the search, Theorem-1 verification and the pair
+    helpers all query the same machine, and the kernel's memo caches make
+    the second and later callers cheap.
+    """
+    key = tuple(tuple(row) for row in succ)
+    kern = _KERNELS.get(key)
+    if kern is None:
+        if len(_KERNELS) >= _KERNEL_LIMIT:
+            _KERNELS.clear()
+        kern = _KERNELS[key] = BitsetKernel(key)
+    return kern
 
 
 def all_partitions(n: int) -> Iterable[Labels]:

@@ -65,19 +65,20 @@ def mm_pairs(succ: SuccTable, universe: Sequence) -> List[Tuple[Partition, Parti
     ``(M(identity), identity)`` can be a legitimate Mm-pair.
     """
     n = len(succ)
+    kern = kernel.bitset_kernel(succ)
     basis = m_basis_labels(succ)
     closed: Set[Labels] = {kernel.identity(n)}
     frontier: List[Labels] = list(closed)
     while frontier:
         current = frontier.pop()
         for element in basis:
-            joined = kernel.join(current, element)
+            joined = kern.join_labels(current, element)
             if joined not in closed:
                 closed.add(joined)
                 frontier.append(joined)
     out = []
     for theta in sorted(closed):
-        pi = kernel.big_m_operator(succ, theta)
-        if kernel.m_operator(succ, pi) == theta:
+        pi = kern.big_m_labels(theta)
+        if kern.m_labels(pi) == theta:
             out.append((Partition(universe, pi), Partition(universe, theta)))
     return out

@@ -4,7 +4,10 @@ These are thin, typed wrappers over :mod:`repro.partitions.kernel` that work
 on :class:`~repro.partitions.partition.Partition` objects and a successor
 table.  The successor table is the index-based next-state function
 ``succ[s][i]`` and is deliberately decoupled from the FSM class so that the
-partition layer has no dependency on :mod:`repro.fsm`.
+partition layer has no dependency on :mod:`repro.fsm`.  All queries route
+through the shared per-machine :func:`~repro.partitions.kernel.
+bitset_kernel`, so repeated questions about the same machine hit its memo
+caches.
 
 Terminology maps to the paper as follows (``pi``/``theta`` are equivalence
 relations on the state set ``S``):
@@ -43,31 +46,39 @@ def _check(succ: SuccTable, *parts: Partition) -> None:
 def is_partition_pair(succ: SuccTable, pi: Partition, theta: Partition) -> bool:
     """Definition 4: does ``delta`` map ``pi``-classes into ``theta``-classes?"""
     _check(succ, pi, theta)
-    return kernel.is_pair(succ, pi.labels, theta.labels)
+    return kernel.bitset_kernel(succ).is_pair_labels(pi.labels, theta.labels)
 
 
 def is_symmetric_pair(succ: SuccTable, pi: Partition, theta: Partition) -> bool:
     """Are both ``(pi, theta)`` and ``(theta, pi)`` partition pairs?"""
     _check(succ, pi, theta)
-    return kernel.is_symmetric_pair(succ, pi.labels, theta.labels)
+    kern = kernel.bitset_kernel(succ)
+    return kern.is_pair_labels(pi.labels, theta.labels) and kern.is_pair_labels(
+        theta.labels, pi.labels
+    )
 
 
 def m_of(succ: SuccTable, pi: Partition) -> Partition:
     """``m(pi)``: the smallest ``theta`` such that ``(pi, theta)`` is a pair."""
     _check(succ, pi)
-    return Partition(pi.universe, kernel.m_operator(succ, pi.labels))
+    return Partition._from_canonical(
+        pi.universe, kernel.bitset_kernel(succ).m_labels(pi.labels)
+    )
 
 
 def big_m_of(succ: SuccTable, theta: Partition) -> Partition:
     """``M(theta)``: the largest ``pi`` such that ``(pi, theta)`` is a pair."""
     _check(succ, theta)
-    return Partition(theta.universe, kernel.big_m_operator(succ, theta.labels))
+    return Partition._from_canonical(
+        theta.universe, kernel.bitset_kernel(succ).big_m_labels(theta.labels)
+    )
 
 
 def is_mm_pair(succ: SuccTable, pi: Partition, theta: Partition) -> bool:
     """Definition 5: ``M(theta) == pi`` and ``m(pi) == theta``."""
     _check(succ, pi, theta)
+    kern = kernel.bitset_kernel(succ)
     return (
-        kernel.big_m_operator(succ, theta.labels) == pi.labels
-        and kernel.m_operator(succ, pi.labels) == theta.labels
+        kern.big_m_labels(theta.labels) == pi.labels
+        and kern.m_labels(pi.labels) == theta.labels
     )

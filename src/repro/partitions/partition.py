@@ -21,9 +21,16 @@ from . import kernel
 
 
 class Partition:
-    """An equivalence relation on an ordered finite universe."""
+    """An equivalence relation on an ordered finite universe.
 
-    __slots__ = ("_universe", "_labels", "_index", "_hash")
+    Derived structures (the element index, the block tuples, the hash)
+    are computed lazily and cached on the instance, and lattice-operation
+    results share the universe tuple and the element index of their
+    operands -- building a Partition per search candidate or per lattice
+    op costs one tuple, not a dict rebuild.
+    """
+
+    __slots__ = ("_universe", "_labels", "_index", "_blocks", "_hash")
 
     def __init__(self, universe: Sequence[Hashable], labels: Sequence[int]) -> None:
         universe = tuple(universe)
@@ -37,8 +44,30 @@ class Partition:
             labels = kernel.canonical(labels)
         self._universe: Tuple[Hashable, ...] = universe
         self._labels: Tuple[int, ...] = tuple(labels)
-        self._index: Dict[Hashable, int] = {x: i for i, x in enumerate(universe)}
-        self._hash = hash((self._universe, self._labels))
+        self._index = None
+        self._blocks = None
+        self._hash = None
+
+    @classmethod
+    def _from_canonical(
+        cls,
+        universe: Tuple[Hashable, ...],
+        labels: Tuple[int, ...],
+        index: Dict[Hashable, int] = None,
+    ) -> "Partition":
+        """Internal fast constructor: trusted canonical labels, shared index.
+
+        Used where the invariants hold by construction (lattice-op results
+        over an already-validated universe), skipping the duplicate check
+        and re-canonicalization scan of the public constructor.
+        """
+        self = object.__new__(cls)
+        self._universe = universe
+        self._labels = labels
+        self._index = index
+        self._blocks = None
+        self._hash = None
+        return self
 
     # -- constructors ------------------------------------------------------
 
@@ -65,7 +94,9 @@ class Partition:
             index_blocks = [[index[x] for x in block] for block in block_list]
         except KeyError as exc:
             raise PartitionError(f"block element {exc.args[0]!r} not in universe") from exc
-        return cls(universe, kernel.from_blocks(len(universe), index_blocks))
+        built = cls(universe, kernel.from_blocks(len(universe), index_blocks))
+        built._index = index
+        return built
 
     @classmethod
     def from_pairs(
@@ -80,7 +111,9 @@ class Partition:
             index_pairs = [(index[x], index[y]) for x, y in pairs]
         except KeyError as exc:
             raise PartitionError(f"pair element {exc.args[0]!r} not in universe") from exc
-        return cls(universe, kernel.from_pairs(len(universe), index_pairs))
+        built = cls(universe, kernel.from_pairs(len(universe), index_pairs))
+        built._index = index
+        return built
 
     # -- basic queries -----------------------------------------------------
 
@@ -99,10 +132,13 @@ class Partition:
 
     def blocks(self) -> Tuple[Tuple[Hashable, ...], ...]:
         """Blocks as tuples of elements, in canonical (first-occurrence) order."""
-        return tuple(
-            tuple(self._universe[i] for i in block)
-            for block in kernel.blocks(self._labels)
-        )
+        blocks = self._blocks
+        if blocks is None:
+            blocks = self._blocks = tuple(
+                tuple(self._universe[i] for i in block)
+                for block in kernel.blocks(self._labels)
+            )
+        return blocks
 
     def block_of(self, element: Hashable) -> FrozenSet[Hashable]:
         """The equivalence class ``[element]`` as a frozenset."""
@@ -124,8 +160,11 @@ class Partition:
         return self.num_blocks == len(self._universe)
 
     def _position(self, element: Hashable) -> int:
+        index = self._index
+        if index is None:
+            index = self._index = {x: i for i, x in enumerate(self._universe)}
         try:
-            return self._index[element]
+            return index[element]
         except KeyError as exc:
             raise PartitionError(f"element {element!r} not in universe") from exc
 
@@ -138,17 +177,25 @@ class Partition:
     def join(self, other: "Partition") -> "Partition":
         """Finest common coarsening (the ``u`` + transitive closure of the paper)."""
         self._check_universe(other)
-        return Partition(self._universe, kernel.join(self._labels, other._labels))
+        ops = kernel.bitset_lattice(len(self._labels))
+        return Partition._from_canonical(
+            self._universe, ops.join_labels(self._labels, other._labels), self._index
+        )
 
     def meet(self, other: "Partition") -> "Partition":
         """Coarsest common refinement (set intersection of the relations)."""
         self._check_universe(other)
-        return Partition(self._universe, kernel.meet(self._labels, other._labels))
+        ops = kernel.bitset_lattice(len(self._labels))
+        return Partition._from_canonical(
+            self._universe, ops.meet_labels(self._labels, other._labels), self._index
+        )
 
     def refines(self, other: "Partition") -> bool:
         """``self ⊆ other`` as relations (``self`` is finer)."""
         self._check_universe(other)
-        return kernel.refines(self._labels, other._labels)
+        return kernel.bitset_lattice(len(self._labels)).refines_labels(
+            self._labels, other._labels
+        )
 
     def __or__(self, other: "Partition") -> "Partition":
         return self.join(other)
@@ -189,7 +236,10 @@ class Partition:
         return self._universe == other._universe and self._labels == other._labels
 
     def __hash__(self) -> int:
-        return self._hash
+        value = self._hash
+        if value is None:
+            value = self._hash = hash((self._universe, self._labels))
+        return value
 
     def __len__(self) -> int:
         return self.num_blocks

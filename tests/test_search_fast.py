@@ -1,9 +1,10 @@
-"""Optimised OSTR kernels and search must match the reference path exactly.
+"""The bitset OSTR engine and search must match the reference path exactly.
 
-``search_ostr(fast=True)`` (the default) swaps in fused/precomputed
-partition-algebra kernels and a DFS-edge join memo; the paper-accounting
-contract is that solutions *and* every search statistic stay identical to
-the unoptimised reference traversal (``fast=False``).
+``search_ostr`` defaults to the bitset-native engine (mask-tuple
+partitions, incremental ``m`` along DFS edges, Lemma-1-gated ``M``); the
+paper-accounting contract is that solutions *and* every search statistic
+stay identical to the label-tuple reference traversal (``reference=True``,
+or the legacy ``fast=False`` spelling).
 """
 
 import dataclasses
@@ -32,32 +33,30 @@ def partitions_of(draw, n):
 
 
 @given(succ_tables(), st.data())
-def test_succops_matches_reference_operators(succ, data):
+def test_bitset_kernel_matches_reference_operators(succ, data):
     n = len(succ)
-    ops = kernel.SuccOps(succ)
+    kern = kernel.BitsetKernel(succ)
     labels = data.draw(partitions_of(n))
-    assert ops.m(labels) == kernel.m_operator(succ, labels)
-    assert ops.big_m(labels) == kernel.big_m_operator(succ, labels)
+    assert kern.m_labels(labels) == kernel.m_operator(succ, labels)
+    assert kern.big_m_labels(labels) == kernel.big_m_operator(succ, labels)
 
 
 @given(st.integers(min_value=1, max_value=8), st.data())
-def test_fused_and_fast_lattice_ops_match(n, data):
+def test_bitset_lattice_ops_match(n, data):
     a = data.draw(partitions_of(n))
     b = data.draw(partitions_of(n))
     bound = data.draw(partitions_of(n))
-    assert kernel.join_canonical(a, b) == kernel.join(a, b)
-    assert kernel.meet_refines(a, b, bound) == kernel.refines(
-        kernel.meet(a, b), bound
-    )
-    succ = [[data.draw(st.integers(0, n - 1))] for _ in range(n)]
-    ops = kernel.SuccOps(succ)
-    assert ops.refines(a, b) == kernel.refines(a, b)
-    assert ops.meet_refines(a, b, bound) == kernel.meet_refines(a, b, bound)
+    ops = kernel.bitset_lattice(n)
+    assert ops.join_labels(a, b) == kernel.join(a, b)
+    assert ops.meet_labels(a, b) == kernel.meet(a, b)
+    assert ops.refines_labels(a, b) == kernel.refines(a, b)
+    am, bm, boundm = map(ops.from_labels, (a, b, bound))
+    assert ops.meet_refines(am, bm, boundm) == kernel.meet_refines(a, b, bound)
 
 
 def _assert_same_search(machine, **kwargs):
-    fast = search_ostr(machine, fast=True, **kwargs)
-    reference = search_ostr(machine, fast=False, **kwargs)
+    fast = search_ostr(machine, **kwargs)
+    reference = search_ostr(machine, reference=True, **kwargs)
     fast_stats = dataclasses.asdict(fast.stats)
     reference_stats = dataclasses.asdict(reference.stats)
     fast_stats.pop("elapsed_seconds")
@@ -66,6 +65,17 @@ def _assert_same_search(machine, **kwargs):
     assert repr(fast.solution.pi) == repr(reference.solution.pi)
     assert repr(fast.solution.theta) == repr(reference.solution.theta)
     assert fast.solution.flipflops == reference.solution.flipflops
+
+
+def test_legacy_fast_false_is_the_reference_engine():
+    from repro import suite
+
+    machine = suite.load("dk27")
+    legacy = search_ostr(machine, fast=False)
+    reference = search_ostr(machine, reference=True)
+    assert repr(legacy.solution.pi) == repr(reference.solution.pi)
+    assert legacy.stats.investigated == reference.stats.investigated
+    assert legacy.stats.unique_joins == reference.stats.unique_joins
 
 
 def test_fast_search_identical_on_suite_machines():
@@ -79,6 +89,21 @@ def test_fast_search_identical_under_node_limit():
     from repro import suite
 
     _assert_same_search(suite.load("dk15"), node_limit=500)
+
+
+def test_fast_search_identical_without_pruning_or_skips():
+    from repro import suite
+
+    _assert_same_search(suite.load("dk27"), prune=False)
+    _assert_same_search(suite.load("dk27"), skip_redundant=False)
+    _assert_same_search(suite.load("tav"), prune=False, skip_redundant=False)
+
+
+def test_fast_search_identical_across_basis_orders():
+    from repro import suite
+
+    for order in ("sorted", "coarse_first", "fine_first"):
+        _assert_same_search(suite.load("dk27"), basis_order=order)
 
 
 def test_fast_search_identical_on_random_machines():

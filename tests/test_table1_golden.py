@@ -1,0 +1,86 @@
+"""Table-1 golden search statistics: both engines, bit-identical, forever.
+
+``tests/golden/ostr_table1_stats.json`` pins, for every machine of the
+benchmark suite (searched with its Table-1 ``search_kwargs``), the
+solution partitions and every search counter.  The bitset engine is
+checked against the file on every run; the label-tuple reference engine
+is checked on the light machines always and on the heavy ones (tens of
+seconds of interpreter time) when ``REPRO_GOLDEN_HEAVY=1`` -- the CI
+``synth-fast`` cell runs the full matrix.
+
+Regenerate with ``pytest tests/test_table1_golden.py --update-golden``
+(the regenerated stats are immediately cross-checked against the
+reference engine on the light machines, so an engine bug cannot silently
+become the new golden truth).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro import suite
+from repro.ostr.search import search_ostr
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "golden", "ostr_table1_stats.json"
+)
+
+HEAVY = ("dk16", "dk512", "tbk")
+LIGHT = tuple(name for name in suite.names() if name not in HEAVY)
+
+
+def run_search(name: str, reference: bool) -> dict:
+    """One Table-1 search; the golden record is everything but wall time."""
+    machine = suite.load(name)
+    kwargs = suite.entry(name).search_kwargs
+    result = search_ostr(machine, reference=reference, **kwargs)
+    stats = dataclasses.asdict(result.stats)
+    stats.pop("elapsed_seconds")
+    return {
+        "pi": repr(result.solution.pi),
+        "theta": repr(result.solution.theta),
+        "flipflops": result.solution.flipflops,
+        "stats": stats,
+    }
+
+
+def load_golden() -> dict:
+    with open(GOLDEN_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def test_fast_engine_matches_golden(update_golden):
+    if update_golden:
+        golden = {name: run_search(name, reference=False) for name in suite.names()}
+        with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+            json.dump(golden, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        # A regenerated file must still agree with the oracle engine.
+        for name in LIGHT:
+            assert run_search(name, reference=True) == golden[name], name
+        return
+    golden = load_golden()
+    assert sorted(golden) == sorted(suite.names())
+    for name in suite.names():
+        assert run_search(name, reference=False) == golden[name], name
+
+
+def test_reference_engine_matches_golden_light():
+    golden = load_golden()
+    for name in LIGHT:
+        assert run_search(name, reference=True) == golden[name], name
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_GOLDEN_HEAVY"),
+    reason="reference engine on the heavy machines takes tens of seconds; "
+    "set REPRO_GOLDEN_HEAVY=1 to run",
+)
+def test_reference_engine_matches_golden_heavy():
+    golden = load_golden()
+    for name in HEAVY:
+        assert run_search(name, reference=True) == golden[name], name
