@@ -24,6 +24,9 @@ echo "== differential suite (cross-engine + PPSFP matrix, golden signatures, poo
 python -m pytest tests/test_differential.py tests/test_prop_superposed.py \
   tests/test_prop_ppsfp.py tests/test_pool.py -q
 
+echo "== chaos suite (injected crashes/hangs/pipe-close vs serial oracle) =="
+python -m pytest tests/test_chaos.py -q
+
 echo "== synthesis equivalence (bitset kernels vs label oracle, Table-1 golden stats) =="
 python -m pytest tests/test_prop_partitions.py tests/test_search_fast.py \
   tests/test_table1_golden.py -q

@@ -145,6 +145,10 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
                     pool=pool,
                     engine=args.engine,
                     collapse=args.collapse,
+                    timeout=args.timeout,
+                    retries=args.retries,
+                    checkpoint=args.checkpoint,
+                    degrade=args.degrade,
                 )
             )
         )
@@ -190,6 +194,33 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
                 f"requests, {stats['reuse_hits']} compiled-subject reuse "
                 f"hits, {stats['respawns']} respawns"
             )
+        from .faults.engine import CAMPAIGN_STATS as _stats
+
+        resilience = _stats.get("resilience")
+        if resilience and (
+            resilience["retries"]
+            or resilience["respawns"]
+            or resilience["timeouts"]
+            or resilience["fallbacks"]
+            or resilience["resumed"]
+        ):
+            # Like the scheduler line: telemetry of the most recent
+            # campaign only (the pipeline architecture).
+            line = (
+                f"resilience (pipeline campaign): {resilience['retries']} "
+                f"retries, {resilience['respawns']} worker respawns, "
+                f"{resilience['timeouts']} watchdog timeouts, "
+                f"{resilience['redispatched_chunks']} chunks "
+                f"({resilience['redispatched_faults']} faults) re-dispatched"
+            )
+            if resilience["resumed"]:
+                line += f", {resilience['resumed']} outcomes resumed from checkpoint"
+            print(line)
+            for event in resilience["fallbacks"]:
+                print(
+                    f"  degraded {event.rung_from} -> {event.rung_to} "
+                    f"({event.kind}): {event.error}"
+                )
     finally:
         if pool is not None:
             pool.close()
@@ -380,6 +411,35 @@ def build_parser() -> argparse.ArgumentParser:
         "back (identical report, 40-60%% fewer simulated faults); "
         "'dominance' also drops dominated classes (smaller reported "
         "universe, opt-in)",
+    )
+    coverage.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="no-progress watchdog deadline per campaign attempt: hung "
+        "workers are killed and their chunks re-dispatched",
+    )
+    coverage.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-dispatch budget after worker crashes/timeouts "
+        "(default: the pool's budget on --pool, otherwise 0)",
+    )
+    coverage.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="crash-safe campaign snapshots: each architecture campaign "
+        "checkpoints to PATH.archN and a rerun resumes bit-identically",
+    )
+    coverage.add_argument(
+        "--degrade",
+        action="store_true",
+        help="on an exhausted retry budget, fall back down the "
+        "pool -> workers -> serial -> interpreted ladder instead of failing",
     )
     coverage.add_argument(
         "--engine",

@@ -47,3 +47,49 @@ class BistError(ReproError):
 
 class FaultError(ReproError):
     """Invalid fault specification or simulation request."""
+
+
+class PoolClosed(ReproError):
+    """An operation was attempted on a closed :class:`CampaignPool`."""
+
+
+class ResilienceError(ReproError):
+    """A fault-simulation job failed after exhausting its retry budget.
+
+    Structured base for the campaign runtime's failure modes: carries the
+    number of attempts made, how many scheduled faults were still
+    unprocessed when the budget ran out, and the per-worker failure
+    details gathered along the way (one string per observed failure, in
+    worker-index order).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        attempts: int = 1,
+        unprocessed: int = 0,
+        failures=(),
+    ) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.unprocessed = unprocessed
+        self.failures = list(failures)
+
+
+class JobTimeout(ResilienceError):
+    """A campaign watchdog deadline expired on every retry.
+
+    Raised when workers made no scheduling progress (the shared next-index
+    counter did not advance and no replies arrived) within ``deadline``
+    seconds, on each of ``attempts`` dispatches.  ``deadline`` is the
+    per-attempt no-progress budget in seconds.
+    """
+
+    def __init__(self, message: str, *, deadline=None, **kwargs) -> None:
+        super().__init__(message, **kwargs)
+        self.deadline = deadline
+
+
+class WorkerCrash(ResilienceError):
+    """Worker processes died (or closed their pipes) on every retry."""

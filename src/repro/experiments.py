@@ -19,6 +19,7 @@ from .bist import (
     build_pipeline,
     build_plain,
 )
+from .exceptions import ReproError
 from .faults import CoverageReport, exhaustive_patterns, measure_coverage, simulate_patterns
 from .fsm import MealyMachine
 from .fsm.random_machines import random_input_word
@@ -273,6 +274,10 @@ def run_coverage(
     pool=None,
     engine: str = "compiled",
     collapse: str = "none",
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    checkpoint: Optional[str] = None,
+    degrade: bool = False,
 ) -> List[CoverageRow]:
     """Measure self-test stuck-at coverage of Figures 2-4 on one machine.
 
@@ -287,6 +292,13 @@ def run_coverage(
     same persistent workers, the sweep shape the pool exists for;
     ``engine="interpreted"`` selects the seed dict-keyed session loops as
     the oracle.
+
+    ``timeout``/``retries``/``degrade`` arm the campaign runtime's
+    watchdog, retry budget and degradation ladder (see
+    :func:`repro.faults.engine.run_campaign`); ``checkpoint`` names a
+    snapshot *prefix* -- each architecture campaign checkpoints to
+    ``{checkpoint}.arch{i}`` so an interrupted sweep resumes per
+    architecture, bit-identically.
     """
     result = search_ostr(machine)
     realization = result.realization()
@@ -296,11 +308,13 @@ def run_coverage(
     pipeline = build_pipeline(realization, method=method)
 
     rows = []
-    for controller, label in (
-        (parallel, "parallel self-test (Fig.1)"),
-        (conventional, "conventional BIST (Fig.2)"),
-        (doubled, "doubled (Fig.3)"),
-        (pipeline, "pipeline (Fig.4)"),
+    for index, (controller, label) in enumerate(
+        (
+            (parallel, "parallel self-test (Fig.1)"),
+            (conventional, "conventional BIST (Fig.2)"),
+            (doubled, "doubled (Fig.3)"),
+            (pipeline, "pipeline (Fig.4)"),
+        )
     ):
         report = measure_coverage(
             controller,
@@ -312,8 +326,14 @@ def run_coverage(
             pool=pool,
             engine=engine,
             collapse=collapse,
+            timeout=timeout,
+            retries=retries,
+            checkpoint=(
+                f"{checkpoint}.arch{index}" if checkpoint is not None else None
+            ),
+            degrade=degrade,
         )
-        redundant = _redundant_fault_count(controller, pool=pool)
+        redundant = _redundant_fault_count(controller, pool=pool, degrade=degrade)
         detectable = report.total - redundant
         structurally_missed = (
             len(controller.feedback_faults())
@@ -336,7 +356,7 @@ def run_coverage(
     return rows
 
 
-def _redundant_fault_count(controller, pool=None) -> int:
+def _redundant_fault_count(controller, pool=None, degrade=False) -> int:
     """Faults no input pattern can detect (combinational redundancy)."""
     networks = []
     if hasattr(controller, "plain"):
@@ -347,9 +367,16 @@ def _redundant_fault_count(controller, pool=None) -> int:
         networks.extend([controller.c1, controller.c2, controller.lambda_net])
     redundant = 0
     for network in networks:
-        outcome = simulate_patterns(
-            network, exhaustive_patterns(len(network.inputs)), pool=pool
-        )
+        patterns = exhaustive_patterns(len(network.inputs))
+        try:
+            outcome = simulate_patterns(network, patterns, pool=pool)
+        except ReproError:
+            # Degradation for the PPSFP screens mirrors the campaigns':
+            # an unusable pool falls back to the in-process lanes, which
+            # compute identical flags.
+            if not degrade or pool is None:
+                raise
+            outcome = simulate_patterns(network, patterns)
         redundant += outcome.total - outcome.detected
     return redundant
 

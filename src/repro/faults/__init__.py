@@ -15,11 +15,18 @@ from .simulator import (
     simulate_patterns,
 )
 from .coverage import CoverageReport, measure_coverage
-from .engine import LinearCompactor, run_campaign
+from .engine import DegradationEvent, LinearCompactor, run_campaign
 from .pool import CampaignPool
+from .chaos import ChaosEvent, ChaosPlan, random_plan
+from .checkpoint import CampaignCheckpoint
 
 __all__ = [
+    "CampaignCheckpoint",
     "CampaignPool",
+    "ChaosEvent",
+    "ChaosPlan",
+    "DegradationEvent",
+    "random_plan",
     "COLLAPSE_MODES",
     "FaultMap",
     "LinearCompactor",

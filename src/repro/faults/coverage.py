@@ -69,6 +69,10 @@ def measure_coverage(
     chunk_size: Optional[int] = None,
     pool=None,
     collapse: str = "none",
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    checkpoint: Optional[str] = None,
+    degrade: bool = False,
     **session_options,
 ) -> CoverageReport:
     """Fault simulation of a controller's complete self-test.
@@ -92,11 +96,27 @@ def measure_coverage(
     drops gate-locally dominated classes; that *changes the reported
     universe* and is opt-in for test-generation style runs.
 
+    Resilience knobs (see :func:`repro.faults.engine.run_campaign` and the
+    engine module docstring): ``timeout`` arms the no-progress watchdog,
+    ``retries`` bounds crash/hang re-dispatches, ``checkpoint`` names a
+    crash-safe snapshot file for bit-identical resume, and
+    ``degrade=True`` walks the pool -> workers -> serial -> interpreted
+    fallback ladder instead of raising on an exhausted budget.
+
     Extra keyword options (e.g. ``lambda_session=False`` for the strictly
     two-session pipeline flow) are forwarded to the controller's
     ``self_test_signatures``.
     """
-    if workers > 1 or dropping or pool is not None or collapse != "none":
+    if (
+        workers > 1
+        or dropping
+        or pool is not None
+        or collapse != "none"
+        or timeout is not None
+        or retries is not None
+        or checkpoint is not None
+        or degrade
+    ):
         from .engine import run_campaign
 
         return run_campaign(
@@ -109,6 +129,10 @@ def measure_coverage(
             chunk_size=chunk_size,
             pool=pool,
             collapse=collapse,
+            timeout=timeout,
+            retries=retries,
+            checkpoint=checkpoint,
+            degrade=degrade,
             **session_options,
         )
     reference = controller.self_test_signatures(

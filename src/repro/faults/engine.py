@@ -72,7 +72,9 @@ shares one work queue in shared memory:
 Each worker rebuilds the reference signatures and screening bundle once
 (controllers ship pickled without their compiled kernels and recompile
 lazily), then processes stolen chunks through the same batch protocol as
-the in-process path.
+the in-process path.  Workers skip outcome flags that are already
+resolved, so a re-dispatch after a crash (or a checkpoint resume) only
+recomputes the gaps.
 
 Fault collapsing (the ``collapse=`` path)
 -----------------------------------------
@@ -103,26 +105,66 @@ per-session reference state) across campaigns -- see
 reports are identical; ``CAMPAIGN_STATS`` additionally carries the pool's
 reuse/respawn telemetry.
 
+Resilience (deadlines, retries, checkpoints, the degradation ladder)
+--------------------------------------------------------------------
+
+The runtime defends against *its own* failures, not just the simulated
+ones:
+
+* ``timeout=`` arms a no-progress watchdog on the multi-process
+  schedulers (and a cooperative per-chunk deadline on the serial path);
+  hung workers are killed and their unfinished chunks re-dispatched with
+  bounded exponential backoff up to the retry budget, after which a
+  structured :exc:`~repro.exceptions.JobTimeout` /
+  :exc:`~repro.exceptions.WorkerCrash` propagates.
+* ``checkpoint=`` periodically snapshots the per-fault outcome array to
+  disk (:mod:`repro.faults.checkpoint`), keyed by the SHA of the subject
+  and the full campaign token; a rerun resumes from the completed prefix
+  and the final report is bit-identical to an uninterrupted run.
+* ``degrade=True`` walks the degradation ladder on repeated failure:
+  pool -> in-process chunk-steal workers -> serial compiled -> serial
+  interpreted, recording each step as a :class:`DegradationEvent`.
+* every campaign exports ``CAMPAIGN_STATS["resilience"]`` telemetry:
+  retries, worker respawns, watchdog timeouts, re-dispatched
+  chunks/faults, checkpoint resume counts, and the fallback events.
+
+``tests/test_chaos.py`` drives all of this with injected worker crashes,
+hangs, closed pipes and poisoned payloads (:mod:`repro.faults.chaos`) and
+asserts the reports stay field-for-field identical to the serial oracle.
+
 Determinism guarantee
 ---------------------
 
 Campaign results do not depend on ``workers``, ``dropping``, ``superpose``
-or ``chunk_size``: every fault's outcome is computed independently (lanes
-never interact), the shared outcome array is indexed by the controller's
+or ``chunk_size`` -- nor on crashes, retries, resumes or degradation
+fallbacks: every fault's outcome is computed independently (lanes never
+interact), the shared outcome array is indexed by the controller's
 canonical fault order, and the merge rebuilds the report in that order, so
 ``CoverageReport`` equality holds field-for-field against the serial
-oracle (tests/test_engine.py and tests/test_differential.py assert this
-across all architectures and engines).
+oracle (tests/test_engine.py, tests/test_differential.py and
+tests/test_chaos.py assert this across all architectures, engines and
+failure schedules).
 """
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
+import pickle
 import queue as queue_module
-from typing import Dict, List, Optional, Sequence
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..bist.compaction import LinearCompactor, stream_errors, transpose_words
-from ..exceptions import ReproError
+from ..exceptions import (
+    JobTimeout,
+    ReproError,
+    ResilienceError,
+    WorkerCrash,
+)
+from .chaos import ChaosState
+from .checkpoint import CampaignCheckpoint, campaign_key
 from .collapse import COLLAPSE_MODES, FaultMap
 from .coverage import (
     FAULT_DETECTED,
@@ -137,15 +179,71 @@ __all__ = [
     "stream_errors",
     "run_campaign",
     "CAMPAIGN_STATS",
+    "DegradationEvent",
 ]
 
 #: telemetry of the most recent :func:`run_campaign` in this process:
 #: ``workers``, ``chunk_size``, ``chunks_stolen`` (per worker), ``dropped``
-#: (faults screened out pattern-parallel) and ``collapse`` (class count /
-#: universe reduction of the fault-collapsing layer, ``None`` when raw).
+#: (faults screened out pattern-parallel), ``collapse`` (class count /
+#: universe reduction of the fault-collapsing layer, ``None`` when raw)
+#: and ``resilience`` (retries, respawns, watchdog timeouts, re-dispatched
+#: chunks/faults, checkpoint resume count, degradation fallbacks).
 #: Diagnostics only -- never part of the returned report, which stays
 #: bit-identical across schedules.
 CAMPAIGN_STATS: Dict[str, object] = {}
+
+#: grace period (seconds) for the deterministic post-join error drain: a
+#: failed worker's traceback may still be in flight through the queue's
+#: feeder pipe after the process is joined.
+_ERROR_DRAIN_GRACE = 1.0
+
+#: default base of the bounded exponential backoff between re-dispatch
+#: attempts of the one-shot scheduler.
+_DEFAULT_BACKOFF = 0.05
+
+#: ceiling on one backoff sleep.
+_BACKOFF_CAP = 2.0
+
+#: the degradation ladder, most capable rung first.
+_LADDER = ("pool", "workers", "serial", "interpreted")
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One step down the degradation ladder, recorded in telemetry.
+
+    ``rung_from``/``rung_to`` name the scheduler rungs (``"pool"``,
+    ``"workers"``, ``"serial"``, ``"interpreted"``); ``kind`` classifies
+    the triggering failure (``"timeout"``, ``"crash"``, ``"error"``) and
+    ``error`` carries its one-line summary.
+    """
+
+    rung_from: str
+    rung_to: str
+    kind: str
+    error: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "rung_from": self.rung_from,
+            "rung_to": self.rung_to,
+            "kind": self.kind,
+            "error": self.error,
+        }
+
+
+def _blank_resilience() -> Dict[str, object]:
+    """Fresh ``CAMPAIGN_STATS["resilience"]`` telemetry record."""
+    return {
+        "retries": 0,
+        "respawns": 0,
+        "timeouts": 0,
+        "redispatched_faults": 0,
+        "redispatched_chunks": 0,
+        "fallbacks": [],
+        "resumed": 0,
+        "checkpoint": None,
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -230,15 +328,21 @@ def _steal_worker(
     steal_counts,
     chunk_size: int,
     errors,
+    generation: int = 0,
 ) -> None:
     """One scheduler worker: steal index chunks until the queue drains.
 
     ``next_index`` is the shared work-queue head (lock-guarded);
     ``outcomes`` is the shared per-fault flag array (disjoint writes need
-    no lock); ``steal_counts[worker_index]`` tallies stolen chunks; any
+    no lock; already-resolved flags from a resume/re-dispatch are
+    skipped); ``steal_counts[worker_index]`` tallies stolen chunks; any
     exception is shipped back through the ``errors`` queue so the parent
-    can re-raise with the real traceback text instead of a bare exit code.
+    can re-raise with the real traceback text instead of a bare exit
+    code.  ``generation`` is the dispatch attempt this worker belongs to
+    -- non-sticky chaos events (:mod:`repro.faults.chaos`, armed via the
+    environment) only fire in generation 0 so re-dispatches converge.
     """
+    chaos = ChaosState(None, "engine", worker_index, generation)
     try:
         reference, bundle = _campaign_state(
             controller, cycles, seed, dropping, options
@@ -251,17 +355,56 @@ def _steal_worker(
                     break
                 next_index.value = start + chunk_size
             steal_counts[worker_index] += 1
+            chaos.before_chunk()
             chunk = universe[start : start + chunk_size]
+            todo = [
+                (offset, block_fault)
+                for offset, block_fault in enumerate(chunk)
+                if outcomes[start + offset] < 0
+            ]
+            if not todo:
+                continue
             codes = _chunk_outcomes(
-                controller, bundle, reference, chunk, cycles, seed, superpose, options
+                controller,
+                bundle,
+                reference,
+                [block_fault for _offset, block_fault in todo],
+                cycles,
+                seed,
+                superpose,
+                options,
             )
-            for offset, code in enumerate(codes):
+            for (offset, _block_fault), code in zip(todo, codes):
                 outcomes[start + offset] = code
     except BaseException:
         import traceback
 
         errors.put((worker_index, traceback.format_exc()))
         raise
+
+
+def _drain_errors(errors, collected: List, expected: int) -> None:
+    """Deterministic post-join error drain.
+
+    ``Queue`` items travel through a feeder thread and a pipe, so a late
+    worker traceback can still be in flight *after* the process has been
+    joined -- a bare ``get_nowait()`` sweep silently drops it and masks
+    the real failure.  Keep draining until every failed worker's report
+    arrived or the grace period passes, then sort by worker index so the
+    first failure (by index) leads the diagnostics.
+    """
+    grace_end = time.monotonic() + _ERROR_DRAIN_GRACE
+    while len(collected) < expected and time.monotonic() < grace_end:
+        try:
+            collected.append(errors.get(timeout=0.05))
+        except queue_module.Empty:
+            pass
+    while True:
+        try:
+            collected.append(errors.get_nowait())
+        except queue_module.Empty:
+            break
+    collected.sort(key=lambda item: item[0])
 
 
 def _parallel_outcomes(
@@ -274,75 +417,165 @@ def _parallel_outcomes(
     workers: int,
     chunk_size: Optional[int],
     options,
+    deadline: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = _DEFAULT_BACKOFF,
+    resume: Optional[Sequence[int]] = None,
+    progress: Optional[Callable[[int, List[int]], None]] = None,
+    resilience: Optional[Dict[str, object]] = None,
 ) -> List[int]:
-    """Fan the universe out over chunk-stealing worker processes."""
+    """Fan the universe out over chunk-stealing worker processes.
+
+    ``deadline`` arms the no-progress watchdog (no advance of the shared
+    next-index counter and no worker exit within ``deadline`` seconds ->
+    every worker is killed and the attempt fails); failed attempts are
+    re-dispatched up to ``retries`` times with bounded exponential
+    backoff, recomputing only the unresolved outcome flags.  ``resume``
+    pre-fills completed codes (checkpoint resume); ``progress`` receives
+    periodic ``(0, codes)`` snapshots; ``resilience`` accumulates
+    retry/respawn/timeout telemetry.
+    """
     total = len(universe)
     if chunk_size is None:
         chunk_size = default_chunk_size(total, workers)
     elif chunk_size < 1:
         raise ReproError(f"chunk_size must be >= 1, got {chunk_size}")
+    if retries < 0:
+        raise ReproError(f"retries must be >= 0, got {retries}")
     context = multiprocessing.get_context()
-    next_index = context.Value("l", 0)
-    outcomes = context.Array("b", [-1] * total, lock=False)
+    outcomes = context.Array("b", total, lock=False)
+    outcomes[:] = list(resume) if resume is not None else [-1] * total
     worker_count = min(workers, -(-total // chunk_size))
-    steal_counts = context.Array("l", worker_count, lock=False)
-    errors = context.Queue()
-    processes = [
-        context.Process(
-            target=_steal_worker,
-            args=(
-                index,
-                controller,
-                universe,
-                cycles,
-                seed,
-                dropping,
-                superpose,
-                options,
-                next_index,
-                outcomes,
-                steal_counts,
-                chunk_size,
-                errors,
-            ),
-        )
-        for index in range(worker_count)
-    ]
-    for process in processes:
-        process.start()
-    # Drain the error queue *while* waiting: a worker whose traceback
-    # exceeds the pipe buffer would otherwise block in its queue feeder
-    # thread at exit and deadlock the join below.
-    error_reports = []
-    while any(process.is_alive() for process in processes):
-        try:
-            error_reports.append(errors.get(timeout=0.05))
-        except queue_module.Empty:
-            pass
-    for process in processes:
-        process.join()
-    while True:
-        try:
-            error_reports.append(errors.get_nowait())
-        except queue_module.Empty:
+    steal_tally = [0] * worker_count
+    error_reports: List = []
+    failure_details: List[str] = []
+    timed_out = False
+    crashed = False
+    for attempt in range(retries + 1):
+        if all(outcomes[index] >= 0 for index in range(total)):
+            break  # fully resumed / previous attempt completed late
+        if attempt:
+            unfinished = sum(1 for index in range(total) if outcomes[index] < 0)
+            if resilience is not None:
+                resilience["retries"] += 1
+                resilience["respawns"] += worker_count
+                resilience["redispatched_faults"] += unfinished
+                resilience["redispatched_chunks"] += -(-unfinished // chunk_size)
+            time.sleep(min(backoff * (2 ** (attempt - 1)), _BACKOFF_CAP))
+        next_index = context.Value("l", 0)
+        steal_counts = context.Array("l", worker_count, lock=False)
+        errors = context.Queue()
+        processes = [
+            context.Process(
+                target=_steal_worker,
+                args=(
+                    index,
+                    controller,
+                    universe,
+                    cycles,
+                    seed,
+                    dropping,
+                    superpose,
+                    options,
+                    next_index,
+                    outcomes,
+                    steal_counts,
+                    chunk_size,
+                    errors,
+                    attempt,
+                ),
+            )
+            for index in range(worker_count)
+        ]
+        for process in processes:
+            process.start()
+        # Drain the error queue *while* waiting: a worker whose traceback
+        # exceeds the pipe buffer would otherwise block in its queue feeder
+        # thread at exit and deadlock the join below.  The same loop runs
+        # the no-progress watchdog and the periodic progress snapshots.
+        attempt_reports: List = []
+        attempt_timed_out = False
+        last_progress = time.monotonic()
+        last_counter = next_index.value
+        last_snapshot = time.monotonic()
+        while any(process.is_alive() for process in processes):
+            try:
+                attempt_reports.append(errors.get(timeout=0.05))
+            except queue_module.Empty:
+                pass
+            now = time.monotonic()
+            counter = next_index.value
+            if counter != last_counter:
+                last_progress = now
+                last_counter = counter
+            if progress is not None and now - last_snapshot >= 0.5:
+                progress(0, list(outcomes))
+                last_snapshot = now
+            if deadline is not None and now - last_progress > deadline:
+                attempt_timed_out = True
+                for process in processes:
+                    if process.is_alive():
+                        process.terminate()
+                break
+        for process in processes:
+            process.join()
+        failed = [
+            (index, process.exitcode)
+            for index, process in enumerate(processes)
+            if process.exitcode != 0
+        ]
+        _drain_errors(errors, attempt_reports, len(failed))
+        error_reports.extend(attempt_reports)
+        for index in range(worker_count):
+            steal_tally[index] += steal_counts[index]
+        if attempt_timed_out:
+            timed_out = True
+            failure_details.append(
+                f"attempt {attempt}: no scheduling progress within "
+                f"{deadline}s deadline; workers killed"
+            )
+        if failed and not attempt_timed_out:
+            crashed = True
+            failure_details.append(
+                f"attempt {attempt}: worker exit codes "
+                f"{[code for _index, code in failed]}"
+            )
+        complete = all(outcomes[index] >= 0 for index in range(total))
+        if complete and not attempt_timed_out:
+            # Late failures with a fully-resolved array are still a valid,
+            # deterministic result (index-ordered merge); accept them.
             break
-    failed = [process.exitcode for process in processes if process.exitcode != 0]
     codes = list(outcomes)
-    if failed or any(code < 0 for code in codes):
+    if progress is not None:
+        progress(0, codes)
+    unprocessed = sum(1 for code in codes if code < 0)
+    if unprocessed:
         details = "".join(
             f"\n--- worker {worker_index} ---\n{trace}"
             for worker_index, trace in error_reports
         )
-        raise ReproError(
-            f"campaign worker failure (exit codes {failed}); "
-            f"{sum(1 for code in codes if code < 0)} faults unprocessed"
+        message = (
+            f"campaign worker failure after {retries + 1} attempt(s); "
+            f"{unprocessed} faults unprocessed\n"
+            + "\n".join(failure_details)
             + details
         )
+        common = dict(
+            attempts=retries + 1,
+            unprocessed=unprocessed,
+            failures=failure_details
+            + [f"worker {index}:\n{trace}" for index, trace in error_reports],
+        )
+        if timed_out:
+            raise JobTimeout(message, deadline=deadline, **common)
+        if crashed and not error_reports:
+            raise WorkerCrash(message, **common)
+        raise ResilienceError(message, **common)
     CAMPAIGN_STATS.clear()
     CAMPAIGN_STATS.update(
         workers=worker_count,
         chunk_size=chunk_size,
-        chunks_stolen=list(steal_counts),
+        chunks_stolen=steal_tally,
         # Drop/alias outcome codes only flow through the batch protocol;
         # the per-fault serial fallback reports plain hit/miss booleans.
         dropped=(
@@ -353,8 +586,120 @@ def _parallel_outcomes(
 
 
 # ---------------------------------------------------------------------------
+# serial scheduler (chunked for checkpointing and cooperative deadlines)
+# ---------------------------------------------------------------------------
+
+
+def _serial_outcomes(
+    controller,
+    schedule: List[BlockFault],
+    cycles,
+    seed,
+    dropping: bool,
+    superpose: bool,
+    options,
+    resume: Optional[Sequence[int]] = None,
+    progress: Optional[Callable[[int, List[int]], None]] = None,
+    deadline: Optional[float] = None,
+    chunk_size: Optional[int] = None,
+) -> List[int]:
+    """In-process campaign, optionally chunked.
+
+    Without resume/progress/deadline this is the historical single-batch
+    call.  Otherwise the schedule is processed in chunks: resumed codes
+    are skipped, ``progress(0, codes)`` fires after every chunk (the
+    checkpoint writer rate-limits actual disk writes), and a chunk whose
+    resolution exceeded ``deadline`` seconds raises
+    :exc:`~repro.exceptions.JobTimeout` cooperatively -- the in-process
+    analogue of the schedulers' no-progress watchdog.
+    """
+    reference, bundle = _campaign_state(controller, cycles, seed, dropping, options)
+    total = len(schedule)
+    if resume is None and progress is None and deadline is None:
+        return _chunk_outcomes(
+            controller, bundle, reference, schedule, cycles, seed, superpose, options
+        )
+    codes = list(resume) if resume is not None else [-1] * total
+    step = chunk_size if chunk_size is not None else default_chunk_size(total, 1)
+    for start in range(0, total, step):
+        chunk_started = time.monotonic()
+        todo = [
+            (index, schedule[index])
+            for index in range(start, min(start + step, total))
+            if codes[index] < 0
+        ]
+        if todo:
+            resolved = _chunk_outcomes(
+                controller,
+                bundle,
+                reference,
+                [block_fault for _index, block_fault in todo],
+                cycles,
+                seed,
+                superpose,
+                options,
+            )
+            for (index, _block_fault), code in zip(todo, resolved):
+                codes[index] = code
+        if progress is not None:
+            progress(0, codes)
+        elapsed = time.monotonic() - chunk_started
+        if deadline is not None and elapsed > deadline:
+            unprocessed = sum(1 for code in codes if code < 0)
+            if unprocessed:
+                raise JobTimeout(
+                    f"serial campaign chunk exceeded the {deadline}s "
+                    f"deadline ({elapsed:.2f}s; {unprocessed} faults "
+                    "unprocessed)",
+                    deadline=deadline,
+                    attempts=1,
+                    unprocessed=unprocessed,
+                )
+    return codes
+
+
+# ---------------------------------------------------------------------------
 # campaign runner
 # ---------------------------------------------------------------------------
+
+
+def _campaign_checkpoint(
+    controller,
+    schedule: List[BlockFault],
+    cycles,
+    seed,
+    dropping: bool,
+    options,
+    collapse: str,
+    path: str,
+    interval: float,
+) -> CampaignCheckpoint:
+    """Checkpoint keyed by the subject and the *exact* campaign."""
+    subject_digest = hashlib.sha1(
+        pickle.dumps(controller, protocol=pickle.HIGHEST_PROTOCOL)
+    ).hexdigest()
+    schedule_digest = hashlib.sha256(
+        "\n".join(repr(block_fault) for block_fault in schedule).encode("utf-8")
+    ).hexdigest()
+    token = (
+        cycles,
+        seed,
+        bool(dropping),
+        tuple(sorted(options.items())),
+        collapse,
+        schedule_digest,
+    )
+    return CampaignCheckpoint(
+        path, campaign_key(subject_digest, token), len(schedule), interval=interval
+    )
+
+
+def _failure_kind(error: ReproError) -> str:
+    if isinstance(error, JobTimeout):
+        return "timeout"
+    if isinstance(error, WorkerCrash):
+        return "crash"
+    return "error"
 
 
 def run_campaign(
@@ -368,6 +713,12 @@ def run_campaign(
     chunk_size: Optional[int] = None,
     pool=None,
     collapse: str = "none",
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    backoff: Optional[float] = None,
+    checkpoint: Optional[str] = None,
+    checkpoint_interval: float = 5.0,
+    degrade: bool = False,
     **session_options,
 ) -> CoverageReport:
     """Fault-simulation campaign with exact dropping and chunk-steal fan-out.
@@ -387,6 +738,15 @@ def run_campaign(
     representatives only -- ``"equiv"`` expands the verdicts back to the
     full universe, ``"dominance"`` reports over the kept representatives
     (see the module docstring).
+
+    Resilience knobs (module docstring, "Resilience"): ``timeout`` arms
+    the no-progress watchdog / cooperative deadline, ``retries`` and
+    ``backoff`` bound the re-dispatch loop (``None`` defers to the pool's
+    defaults on the pool rung and to no retries in-process),
+    ``checkpoint`` names the snapshot file for crash-safe resume, and
+    ``degrade=True`` walks the pool -> workers -> serial -> interpreted
+    ladder on repeated failure instead of raising at the first exhausted
+    budget.  All of them preserve the bit-identical report guarantee.
     """
     if collapse not in COLLAPSE_MODES:
         raise ReproError(
@@ -407,67 +767,173 @@ def run_campaign(
         )
         schedule = fault_map.representatives
     options = dict(session_options)
+    resilience = _blank_resilience()
+
+    # -- checkpoint / shared progress state ----------------------------------
+    ckpt: Optional[CampaignCheckpoint] = None
+    codes_state: List[int] = [-1] * len(schedule)
+    if checkpoint is not None:
+        ckpt = _campaign_checkpoint(
+            controller, schedule, cycles, seed, dropping, options, collapse,
+            checkpoint, checkpoint_interval,
+        )
+        loaded = ckpt.load()
+        if loaded is not None:
+            codes_state = loaded
+            resilience["resumed"] = sum(1 for code in codes_state if code >= 0)
+        resilience["checkpoint"] = {
+            "path": checkpoint,
+            "resumed": resilience["resumed"],
+        }
+
+    def note_progress(offset: int, slab_codes: List[int]) -> None:
+        codes_state[offset : offset + len(slab_codes)] = slab_codes
+        if ckpt is not None:
+            ckpt.save(codes_state)
+
+    # -- the degradation ladder ----------------------------------------------
     if pool is not None:
-        codes = pool.campaign_codes(
-            controller,
-            total=len(schedule),
-            faults=schedule if faults is not None else None,
-            cycles=cycles,
-            seed=seed,
-            dropping=dropping,
-            superpose=superpose,
-            chunk_size=chunk_size,
-            options=options,
-            collapse=collapse,
-        )
-        CAMPAIGN_STATS.clear()
-        CAMPAIGN_STATS.update(
-            workers=pool.workers,
-            chunk_size=pool.last_job.get("chunk_size"),
-            chunks_stolen=list(pool.last_job.get("chunks_stolen", [])),
-            dropped=(
-                sum(1 for code in codes if code == FAULT_DROPPED)
-                if superpose
-                else None
-            ),
-            pool={
-                "reuse_hits": pool.last_job.get("reuse_hits", 0),
-                "campaigns": pool.stats["campaigns"],
-                "respawns": pool.stats["respawns"],
-            },
-        )
+        start_rung = 0
     elif workers and workers > 1 and len(schedule) > 1:
-        codes = _parallel_outcomes(
-            controller,
-            schedule,
-            cycles,
-            seed,
-            dropping,
-            superpose,
-            workers,
-            chunk_size,
-            options,
-        )
+        start_rung = 1
     else:
-        reference, bundle = _campaign_state(
-            controller, cycles, seed, dropping, options
+        start_rung = 2
+    rungs = list(_LADDER[start_rung:]) if degrade else [_LADDER[start_rung]]
+
+    codes: Optional[List[int]] = None
+    for position, rung in enumerate(rungs):
+        resume = (
+            list(codes_state)
+            if any(code >= 0 for code in codes_state)
+            else None
         )
-        codes = _chunk_outcomes(
-            controller, bundle, reference, schedule, cycles, seed, superpose, options
-        )
-        CAMPAIGN_STATS.clear()
-        CAMPAIGN_STATS.update(
-            workers=1,
-            chunk_size=len(schedule),
-            chunks_stolen=[1],
-            dropped=(
-                sum(1 for code in codes if code == FAULT_DROPPED)
-                if superpose
-                else None
-            ),
-        )
+        try:
+            if rung == "pool":
+                before = {key: pool.stats[key] for key in (
+                    "respawns", "retries", "timeouts",
+                    "redispatched_faults", "redispatched_chunks",
+                )}
+                try:
+                    codes = pool.campaign_codes(
+                        controller,
+                        total=len(schedule),
+                        faults=schedule if faults is not None else None,
+                        cycles=cycles,
+                        seed=seed,
+                        dropping=dropping,
+                        superpose=superpose,
+                        chunk_size=chunk_size,
+                        options=options,
+                        collapse=collapse,
+                        timeout=timeout,
+                        retries=retries,
+                        resume=resume,
+                        progress=note_progress,
+                    )
+                finally:
+                    for key, value in before.items():
+                        resilience[key] += pool.stats[key] - value
+                if codes is not None:
+                    note_progress(0, codes)
+                CAMPAIGN_STATS.clear()
+                CAMPAIGN_STATS.update(
+                    workers=pool.workers,
+                    chunk_size=pool.last_job.get("chunk_size"),
+                    chunks_stolen=list(pool.last_job.get("chunks_stolen", [])),
+                    dropped=(
+                        sum(1 for code in codes if code == FAULT_DROPPED)
+                        if superpose
+                        else None
+                    ),
+                    pool={
+                        "reuse_hits": pool.last_job.get("reuse_hits", 0),
+                        "campaigns": pool.stats["campaigns"],
+                        "respawns": pool.stats["respawns"],
+                    },
+                )
+            elif rung == "workers":
+                count = workers if workers and workers > 1 else (
+                    pool.workers if pool is not None else 2
+                )
+                codes = _parallel_outcomes(
+                    controller,
+                    schedule,
+                    cycles,
+                    seed,
+                    dropping,
+                    superpose,
+                    count,
+                    chunk_size,
+                    options,
+                    deadline=timeout,
+                    retries=retries if retries is not None else 0,
+                    backoff=backoff if backoff is not None else _DEFAULT_BACKOFF,
+                    resume=resume,
+                    progress=note_progress if (ckpt or degrade) else None,
+                    resilience=resilience,
+                )
+                note_progress(0, codes)
+            else:
+                rung_options = options
+                rung_dropping = dropping
+                rung_superpose = superpose
+                if rung == "interpreted":
+                    # Last rung: the seed dict-keyed session loops, no
+                    # compiled kernels, no screening -- the slowest and
+                    # most battle-tested path in the library.
+                    rung_options = dict(options, engine="interpreted")
+                    rung_dropping = False
+                    rung_superpose = False
+                codes = _serial_outcomes(
+                    controller,
+                    schedule,
+                    cycles,
+                    seed,
+                    rung_dropping,
+                    rung_superpose,
+                    rung_options,
+                    resume=resume,
+                    progress=note_progress if (ckpt or degrade) else None,
+                    deadline=timeout,
+                    chunk_size=chunk_size,
+                )
+                note_progress(0, codes)
+                CAMPAIGN_STATS.clear()
+                CAMPAIGN_STATS.update(
+                    workers=1,
+                    chunk_size=(
+                        chunk_size
+                        if chunk_size is not None
+                        else len(schedule)
+                    ),
+                    chunks_stolen=[1],
+                    dropped=(
+                        sum(1 for code in codes if code == FAULT_DROPPED)
+                        if rung_superpose
+                        else None
+                    ),
+                )
+            break
+        except ReproError as error:
+            if ckpt is not None:
+                ckpt.save(codes_state, flush=True)
+            if position == len(rungs) - 1:
+                CAMPAIGN_STATS.clear()
+                CAMPAIGN_STATS.update(resilience=resilience)
+                raise
+            resilience["fallbacks"].append(
+                DegradationEvent(
+                    rung_from=rung,
+                    rung_to=rungs[position + 1],
+                    kind=_failure_kind(error),
+                    error=str(error).splitlines()[0],
+                )
+            )
 
     CAMPAIGN_STATS["collapse"] = fault_map.stats() if fault_map else None
+    CAMPAIGN_STATS["resilience"] = resilience
+    if ckpt is not None:
+        ckpt.clear()
     if fault_map is not None:
         if collapse == "equiv":
             # Verdict-preserving: every class member inherits its

@@ -27,17 +27,36 @@ the workers alive instead:
   reports are bit-identical to the serial oracle regardless of schedule.
   The shared outcome array has a fixed ``capacity``; larger fault
   universes are processed in capacity-sized slabs, merged in order.
-* **Self-healing lifecycle.**  An exception inside a job does not kill the
-  worker -- the traceback ships back in the reply and the worker keeps
-  serving.  A worker that *dies* (hard crash, ``os._exit``) is detected
-  via pipe EOF / liveness, reported as a :exc:`ReproError` carrying
-  whatever diagnostics reached the parent, and replaced by a fresh process
-  before the next job.  ``close()`` shuts the workers down; closing twice
-  or using a closed pool raises cleanly.
+  Workers skip entries whose outcome flag is already resolved, which is
+  what makes re-dispatch after a failure (and checkpoint resume) both
+  cheap and exactness-preserving: completed codes persist in the shared
+  array and only the gaps are recomputed.
+* **Self-healing lifecycle with deadlines and a retry budget.**  An
+  exception inside a job does not kill the worker -- the traceback ships
+  back in the reply and the worker keeps serving.  A worker that *dies*
+  (hard crash, ``os._exit``, closed pipe) is detected via pipe EOF /
+  liveness; a worker that *hangs* is detected by the watchdog in
+  :meth:`_collect` (no reply and no advance of the shared next-index
+  counter within the ``timeout`` deadline) and killed.  Either way the
+  pool respawns the dead workers and **re-dispatches the unfinished
+  chunks** with bounded exponential backoff, up to ``retries`` times per
+  slab; only an exhausted budget raises -- :exc:`JobTimeout` when the
+  deadline kept expiring, :exc:`WorkerCrash` when workers kept dying, a
+  plain :exc:`ResilienceError` for persistent soft job errors.
+  ``close()`` shuts the workers down with join -> terminate -> kill
+  escalation (a stuck process is never silently abandoned), is
+  idempotent, and using a closed pool raises :exc:`PoolClosed`.
+* **Chaos hooks.**  Workers consult :mod:`repro.faults.chaos` at their
+  hook points (chunk steal, subject unpickle); with no plan armed --
+  neither the ``chaos=`` parameter nor the :data:`~repro.faults.chaos.CHAOS_ENV`
+  environment variable -- the hooks are inert.  Respawned workers carry
+  their spawn *generation*, which gates non-sticky chaos events off so
+  injected failures converge under the retry budget.
 
-Scheduler telemetry (per-worker steal counts, reuse hits, respawns) is
-exported through :data:`repro.faults.engine.CAMPAIGN_STATS` for campaign
-jobs and accumulated in :attr:`CampaignPool.stats`.
+Scheduler telemetry (per-worker steal counts, reuse hits, respawns,
+retries, watchdog timeouts, re-dispatched chunks) is exported through
+:data:`repro.faults.engine.CAMPAIGN_STATS` for campaign jobs and
+accumulated in :attr:`CampaignPool.stats`.
 """
 
 from __future__ import annotations
@@ -50,9 +69,16 @@ import traceback
 import weakref
 from collections import OrderedDict
 from multiprocessing import connection as mp_connection
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
-from ..exceptions import ReproError
+from ..exceptions import (
+    JobTimeout,
+    PoolClosed,
+    ReproError,
+    ResilienceError,
+    WorkerCrash,
+)
+from .chaos import ChaosPlan, ChaosState
 from .collapse import FaultMap
 from .simulator import _ppsfp_chunk_flags, _ppsfp_state
 from .stuck_at import all_faults
@@ -61,14 +87,22 @@ __all__ = ["CampaignPool"]
 
 #: grace period (seconds) the parent keeps waiting for surviving workers
 #: after it has observed a crashed sibling -- a dead worker can leave the
-#: shared counter lock held, wedging the rest of the slab.
+#: shared counter lock held, wedging the rest of the slab.  An explicit
+#: job ``timeout`` takes precedence when shorter.
 _CRASH_GRACE = 10.0
+
+#: ceiling on one exponential-backoff sleep between re-dispatch attempts.
+_BACKOFF_CAP = 2.0
 
 #: per-worker bound on cached subjects.  The parent tracks each worker's
 #: cache contents, evicts least-recently-used subjects (and their session
 #: states) via the job protocol, and re-ships payloads on demand, so a
 #: long-lived pool sweeping many machines cannot grow without bound.
 _SUBJECT_CACHE_LIMIT = 8
+
+#: minimum spacing (seconds) between progress-callback snapshots of the
+#: shared outcome array while a job is collecting.
+_PROGRESS_INTERVAL = 0.5
 
 
 # ---------------------------------------------------------------------------
@@ -155,6 +189,8 @@ def _worker_serve(
     next_index,
     outcomes,
     steal_counts,
+    connection,
+    chaos: ChaosState,
 ) -> bool:
     """Run one job's chunk-steal loop; returns True on a subject cache hit."""
     for evicted in job.get("evict", ()):
@@ -168,12 +204,13 @@ def _worker_serve(
             raise ReproError(
                 f"pool worker {worker_index} has no cached subject {key[:12]}"
             )
+        chaos.before_unpickle()
         subjects[key] = pickle.loads(job["payload"])
     subject = subjects[key]
     try:
         return _worker_run_job(
             job, subject, states, worker_index, next_index, outcomes,
-            steal_counts, reused,
+            steal_counts, reused, connection, chaos,
         )
     except BaseException:
         # The parent's cache mirror only records subjects on successful
@@ -195,6 +232,8 @@ def _worker_run_job(
     outcomes,
     steal_counts,
     reused: bool,
+    connection,
+    chaos: ChaosState,
 ) -> bool:
     """Chunk-steal loop of one job against a resolved, cached subject."""
     state = _worker_state(job, subject, states)
@@ -230,21 +269,45 @@ def _worker_run_job(
                 break
             next_index.value = start + chunk_size
         steal_counts[worker_index] += 1
-        codes = resolve(universe[start : start + chunk_size])
-        for offset, code in enumerate(codes):
+        chaos.before_chunk(connection)
+        chunk = universe[start : start + chunk_size]
+        # Re-dispatched and checkpoint-resumed jobs arrive with some
+        # outcome flags already resolved; recompute only the gaps (every
+        # fault's code is independent, so the merge stays bit-identical).
+        todo = [
+            (offset, block_fault)
+            for offset, block_fault in enumerate(chunk)
+            if outcomes[start + offset] < 0
+        ]
+        if not todo:
+            continue
+        codes = resolve([block_fault for _offset, block_fault in todo])
+        for (offset, _block_fault), code in zip(todo, codes):
             outcomes[start + offset] = code
     return reused
 
 
-def _pool_worker(worker_index, connection, next_index, outcomes, steal_counts):
+def _pool_worker(
+    worker_index,
+    connection,
+    next_index,
+    outcomes,
+    steal_counts,
+    chaos_plan,
+    generation,
+):
     """Worker main loop: serve jobs until shutdown or parent exit.
 
     Job-level exceptions are shipped back as ``("error", ...)`` replies and
     the worker keeps serving -- only a hard crash (or shutdown) ends the
-    process, and the parent detects that through the pipe.
+    process, and the parent detects that through the pipe.  ``generation``
+    counts how many times this worker slot has been (re)spawned; chaos
+    events use it to disarm after the first generation (see
+    :mod:`repro.faults.chaos`).
     """
     subjects: Dict = {}
     states: Dict = {}
+    chaos = ChaosState(chaos_plan, "pool", worker_index, generation)
     while True:
         try:
             message = connection.recv()
@@ -262,6 +325,8 @@ def _pool_worker(worker_index, connection, next_index, outcomes, steal_counts):
                 next_index,
                 outcomes,
                 steal_counts,
+                connection,
+                chaos,
             )
             connection.send(("done", worker_index, reused))
         except BaseException:
@@ -279,7 +344,30 @@ class CampaignPool:
     Use as a context manager or ``close()`` explicitly.  All jobs are
     deterministic: outcomes are merged index-ordered, so the resulting
     reports equal the serial oracle's field for field (the pooled cells of
-    ``tests/test_differential.py`` assert exactly that).
+    ``tests/test_differential.py`` assert exactly that) -- including
+    through worker crashes, hangs and re-dispatches
+    (``tests/test_chaos.py``).
+
+    Resilience knobs (overridable per job through
+    :func:`repro.faults.engine.run_campaign`):
+
+    ``timeout``
+        watchdog deadline in seconds: a job attempt with no scheduling
+        progress (no worker reply, no advance of the shared next-index
+        counter) for this long has its remaining workers killed and the
+        unfinished chunks re-dispatched.  ``None`` disables the watchdog
+        (crashes are still detected via pipe EOF / liveness).
+    ``retries``
+        how many times a failed slab is re-dispatched before the
+        structured failure (:exc:`JobTimeout` / :exc:`WorkerCrash` /
+        :exc:`ResilienceError`) propagates.
+    ``backoff``
+        base of the bounded exponential backoff slept between attempts
+        (``backoff * 2**(attempt-1)``, capped at 2 s).
+    ``chaos``
+        a :class:`~repro.faults.chaos.ChaosPlan` injected into the
+        workers (tests); the :data:`~repro.faults.chaos.CHAOS_ENV`
+        environment variable arms the same hooks process-wide.
     """
 
     def __init__(
@@ -287,18 +375,34 @@ class CampaignPool:
         workers: int,
         capacity: int = 1 << 15,
         context: Optional[object] = None,
+        timeout: Optional[float] = None,
+        retries: int = 2,
+        backoff: float = 0.05,
+        chaos: Optional[ChaosPlan] = None,
     ) -> None:
         if workers < 1:
             raise ReproError(f"pool needs >= 1 worker, got {workers}")
         if capacity < 1:
             raise ReproError(f"pool capacity must be >= 1, got {capacity}")
+        if retries < 0:
+            raise ReproError(f"pool retries must be >= 0, got {retries}")
+        if timeout is not None and timeout <= 0:
+            raise ReproError(f"pool timeout must be > 0, got {timeout}")
         self.workers = workers
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
         self._capacity = capacity
+        self._chaos = chaos
         self._context = context if context is not None else multiprocessing.get_context()
         self._next_index = self._context.Value("l", 0)
         self._outcomes = self._context.Array("b", capacity, lock=False)
         self._steal_counts = self._context.Array("l", workers, lock=False)
         self._members: List[Optional[tuple]] = [None] * workers
+        #: spawn generation per worker slot (0 = initial spawn); respawned
+        #: workers get a higher generation, which disarms non-sticky chaos
+        #: events so injected failures converge under the retry budget.
+        self._generations: List[int] = [0] * workers
         # Parent-side mirror of each worker's cache: subject key ->
         # session tokens, LRU-ordered, so payloads/patterns ship only on
         # misses and evictions stay coordinated with the worker.
@@ -318,15 +422,22 @@ class CampaignPool:
         self._closed = False
         #: cumulative pool telemetry (also folded into ``CAMPAIGN_STATS``
         #: by campaign jobs): jobs served per kind, subject-cache reuse
-        #: hits across workers, and worker respawns after crashes.
+        #: hits across workers, worker respawns after crashes, slab
+        #: re-dispatch retries, watchdog timeout firings, and how many
+        #: faults/chunks those retries re-dispatched.
         self.stats: Dict[str, int] = {
             "campaigns": 0,
             "ppsfp": 0,
             "reuse_hits": 0,
             "respawns": 0,
+            "retries": 0,
+            "timeouts": 0,
+            "redispatched_faults": 0,
+            "redispatched_chunks": 0,
         }
         #: telemetry of the most recent job (chunk size, per-worker steal
-        #: counts summed over slabs, reuse hits).
+        #: counts summed over slabs and attempts, reuse hits, plus the
+        #: job's retry/timeout/re-dispatch counters).
         self.last_job: Dict[str, object] = {}
         for index in range(workers):
             self._spawn(index)
@@ -343,11 +454,14 @@ class CampaignPool:
                 self._next_index,
                 self._outcomes,
                 self._steal_counts,
+                self._chaos,
+                self._generations[index],
             ),
             daemon=True,
         )
         process.start()
         child_end.close()
+        self._generations[index] += 1
         self._members[index] = (process, parent_end)
         self._worker_cache[index] = OrderedDict()
         self._pending_evict[index] = []
@@ -381,11 +495,18 @@ class CampaignPool:
 
     def _ensure_open(self) -> None:
         if self._closed:
-            raise ReproError("campaign pool is closed")
+            raise PoolClosed("campaign pool is closed")
 
-    def close(self) -> None:
-        """Shut the workers down.  Closing twice raises (lifecycle bug)."""
-        self._ensure_open()
+    def close(self, timeout: float = 5.0) -> None:
+        """Shut the workers down; idempotent.
+
+        Every worker is joined with escalation -- cooperative shutdown
+        message, ``join(timeout)``, then ``terminate`` (SIGTERM), then
+        ``kill`` (SIGKILL) -- so a hung or wedged worker can never outlive
+        the pool as a zombie child.
+        """
+        if self._closed:
+            return
         self._closed = True
         for process, connection in self._members:
             try:
@@ -393,9 +514,12 @@ class CampaignPool:
             except (BrokenPipeError, OSError):
                 pass
         for process, connection in self._members:
-            process.join(timeout=5)
+            process.join(timeout=timeout)
             if process.is_alive():
                 process.terminate()
+                process.join(timeout=timeout)
+            if process.is_alive():
+                process.kill()
                 process.join()
             connection.close()
 
@@ -403,13 +527,11 @@ class CampaignPool:
         return self
 
     def __exit__(self, *_exc_info) -> None:
-        if not self._closed:
-            self.close()
+        self.close()
 
     def __del__(self) -> None:
         try:
-            if not self._closed:
-                self.close()
+            self.close()
         except Exception:
             pass
 
@@ -443,26 +565,53 @@ class CampaignPool:
                 # also discards any copies of this job already sent, so
                 # the whole broadcast restarts cleanly -- once.
                 if attempt:
-                    raise ReproError(
+                    raise WorkerCrash(
                         "pool worker pipes broken twice in a row"
                     )
                 self._dead.add(index)
                 self._heal()
 
-    def _collect(self) -> tuple:
-        """Wait for one reply per worker; returns (reuse_flags, failures)."""
+    def _collect(
+        self,
+        deadline: Optional[float] = None,
+        progress: Optional[Callable[[], None]] = None,
+    ) -> tuple:
+        """Wait for one reply per worker; returns (reuse_flags, failures).
+
+        ``failures`` is a list of dicts ``{"kind", "worker", "detail"}``
+        with ``kind`` one of ``"crash"`` (pipe EOF / dead process),
+        ``"timeout"`` (the no-progress watchdog fired), ``"stalled"``
+        (survivor cut loose after a sibling crash) or ``"error"`` (a soft
+        job exception, detail carries the worker traceback).
+
+        The watchdog measures *scheduling progress*: a worker reply or an
+        advance of the shared next-index counter resets the clock.  With
+        ``deadline=None`` only crash detection runs and a hung worker
+        blocks forever (the pre-deadline behaviour).  ``progress`` is
+        invoked at most every ``_PROGRESS_INTERVAL`` seconds while
+        waiting (checkpoint snapshots of the shared outcome array).
+        """
         pending: Dict[object, int] = {
             self._members[index][1]: index for index in range(self.workers)
         }
         reuse_flags: Dict[int, bool] = {}
-        failures: List[str] = []
+        failures: List[Dict[str, object]] = []
         crash_seen_at: Optional[float] = None
+        last_progress = time.monotonic()
+        last_counter = self._next_index.value
+        last_snapshot = time.monotonic()
 
         def mark_dead(index: int) -> None:
             nonlocal crash_seen_at
             process = self._members[index][0]
             failures.append(
-                f"worker {index} died (exit code {process.exitcode})"
+                {
+                    "kind": "crash",
+                    "worker": index,
+                    "detail": (
+                        f"worker {index} died (exit code {process.exitcode})"
+                    ),
+                }
             )
             self._dead.add(index)
             crash_seen_at = crash_seen_at or time.monotonic()
@@ -471,6 +620,11 @@ class CampaignPool:
             # One blocking wait over all outstanding pipes; a dead
             # worker's pipe becomes ready (EOF) and recv raises.
             ready = mp_connection.wait(list(pending), timeout=0.2)
+            now = time.monotonic()
+            counter = self._next_index.value
+            if ready or counter != last_counter:
+                last_progress = now
+                last_counter = counter
             for connection in ready:
                 index = pending.pop(connection)
                 try:
@@ -481,30 +635,98 @@ class CampaignPool:
                 if reply[0] == "done":
                     reuse_flags[index] = reply[2]
                 else:
-                    failures.append(f"worker {index} raised:\n{reply[2]}")
+                    failures.append(
+                        {
+                            "kind": "error",
+                            "worker": index,
+                            "detail": f"worker {index} raised:\n{reply[2]}",
+                        }
+                    )
             if not ready:
                 for connection, index in list(pending.items()):
                     if not self._members[index][0].is_alive():
                         del pending[connection]
                         mark_dead(index)
-            # A crashed worker can leave the shared counter lock held; give
-            # the survivors a grace period, then cut them loose too.
+            if progress is not None and now - last_snapshot >= _PROGRESS_INTERVAL:
+                progress()
+                last_snapshot = now
+            # Watchdog: no replies and no chunk steals for the whole
+            # deadline means the remaining workers are hung (or wedged on
+            # a lock a dead sibling left held) -- kill them and let the
+            # caller re-dispatch the unfinished chunks.
             if (
                 pending
-                and crash_seen_at is not None
-                and time.monotonic() - crash_seen_at > _CRASH_GRACE
+                and deadline is not None
+                and now - last_progress > deadline
             ):
                 for connection, index in sorted(
                     pending.items(), key=lambda item: item[1]
                 ):
                     process = self._members[index][0]
                     failures.append(
-                        f"worker {index} stalled after a sibling crash; terminated"
+                        {
+                            "kind": "timeout",
+                            "worker": index,
+                            "detail": (
+                                f"worker {index} hung (no progress within "
+                                f"{deadline}s deadline); killed"
+                            ),
+                        }
+                    )
+                    process.terminate()
+                    self._dead.add(index)
+                pending.clear()
+                break
+            # A crashed worker can leave the shared counter lock held; give
+            # the survivors a grace period, then cut them loose too.
+            grace = _CRASH_GRACE if deadline is None else min(_CRASH_GRACE, deadline)
+            if (
+                pending
+                and crash_seen_at is not None
+                and now - crash_seen_at > grace
+            ):
+                for connection, index in sorted(
+                    pending.items(), key=lambda item: item[1]
+                ):
+                    process = self._members[index][0]
+                    failures.append(
+                        {
+                            "kind": "stalled",
+                            "worker": index,
+                            "detail": (
+                                f"worker {index} stalled after a sibling "
+                                "crash; terminated"
+                            ),
+                        }
                     )
                     process.terminate()
                     self._dead.add(index)
                 pending.clear()
         return reuse_flags, failures
+
+    def _raise_exhausted(
+        self,
+        kind: str,
+        failures: List[Dict[str, object]],
+        attempts: int,
+        unprocessed: int,
+        deadline: Optional[float],
+    ) -> None:
+        """Raise the structured failure for an exhausted retry budget."""
+        details = [failure["detail"] for failure in failures]
+        kinds = {failure["kind"] for failure in failures}
+        message = (
+            f"campaign pool {kind} job failed after {attempts} attempt(s) "
+            f"({unprocessed} faults unprocessed):\n" + "\n".join(details)
+        )
+        common = dict(
+            attempts=attempts, unprocessed=unprocessed, failures=details
+        )
+        if "timeout" in kinds:
+            raise JobTimeout(message, deadline=deadline, **common)
+        if "crash" in kinds or "stalled" in kinds:
+            raise WorkerCrash(message, **common)
+        raise ResilienceError(message, **common)
 
     def _run(
         self,
@@ -514,12 +736,26 @@ class CampaignPool:
         faults: Optional[List],
         job_base: Dict[str, object],
         chunk_size: Optional[int],
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+        resume: Optional[Sequence[int]] = None,
+        progress: Optional[Callable[[int, List[int]], None]] = None,
     ) -> List[int]:
         self._ensure_open()
         self._heal()
+        deadline = self.timeout if timeout is None else timeout
+        budget = self.retries if retries is None else retries
+        if budget < 0:
+            raise ReproError(f"retries must be >= 0, got {budget}")
+        job_stats = {
+            "retries": 0,
+            "timeouts": 0,
+            "redispatched_faults": 0,
+            "redispatched_chunks": 0,
+        }
         if total == 0:
             self.last_job = {"chunk_size": 0, "chunks_stolen": [0] * self.workers,
-                            "reuse_hits": self.workers}
+                            "reuse_hits": self.workers, **job_stats}
             return []
         try:
             payload, key = self._payloads[subject]
@@ -542,9 +778,19 @@ class CampaignPool:
                 from .engine import default_chunk_size
 
                 slab_chunk = default_chunk_size(count, self.workers)
-            self._next_index.value = 0
-            self._outcomes[:count] = [-1] * count
-            self._steal_counts[:] = [0] * self.workers
+            initial = (
+                list(resume[offset : offset + count])
+                if resume is not None
+                else [-1] * count
+            )
+            if all(code >= 0 for code in initial):
+                # the whole slab was resumed from a checkpoint
+                codes.extend(initial)
+                continue
+            # The slab's outcome flags persist across re-dispatch attempts:
+            # completed codes are kept and workers skip them, so each retry
+            # only recomputes the gaps.
+            self._outcomes[:count] = initial
             job = dict(
                 job_base,
                 kind=kind,
@@ -556,48 +802,97 @@ class CampaignPool:
                     faults[offset : offset + count] if faults is not None else None
                 ),
             )
-            self._broadcast(job, payload)
-            reuse_flags, failures = self._collect()
-            slab_codes = list(self._outcomes[:count])
-            for index in range(self.workers):
-                steals[index] += self._steal_counts[index]
-            token = job_base["token"]
-            for index, reused in reuse_flags.items():
-                cache = self._worker_cache[index]
-                tokens = cache.setdefault(key, set())
-                tokens.add(token)
-                cache.move_to_end(key)
-                while len(cache) > _SUBJECT_CACHE_LIMIT:
-                    evicted_key, _tokens = cache.popitem(last=False)
-                    self._pending_evict[index].append(evicted_key)
-                # PPSFP states pin their packed pattern streams and cannot
-                # be evicted worker-side (the parent would stop re-shipping
-                # the patterns), so a subject churning through many pattern
-                # sets is evicted wholesale and re-ships on next use.
-                if (
-                    kind == "ppsfp"
-                    and key in cache
-                    and sum(1 for t in cache[key] if t[0] == "ppsfp")
-                    > _SESSION_STATE_LIMIT
-                ):
-                    del cache[key]
-                    self._pending_evict[index].append(key)
-                if slab == 0 and reused:
-                    reuse_hits += 1
-            if failures or any(code < 0 for code in slab_codes):
+            slab_progress = None
+            if progress is not None:
+                slab_progress = lambda: progress(  # noqa: E731
+                    offset, list(self._outcomes[:count])
+                )
+            failures: List[Dict[str, object]] = []
+            for attempt in range(budget + 1):
+                if attempt:
+                    unfinished = sum(
+                        1 for index in range(count) if self._outcomes[index] < 0
+                    )
+                    job_stats["retries"] += 1
+                    job_stats["redispatched_faults"] += unfinished
+                    job_stats["redispatched_chunks"] += -(-unfinished // slab_chunk)
+                    time.sleep(
+                        min(self.backoff * (2 ** (attempt - 1)), _BACKOFF_CAP)
+                    )
+                self._next_index.value = 0
+                self._steal_counts[:] = [0] * self.workers
+                self._broadcast(job, payload)
+                reuse_flags, failures = self._collect(deadline, slab_progress)
+                for index in range(self.workers):
+                    steals[index] += self._steal_counts[index]
+                if any(f["kind"] == "timeout" for f in failures):
+                    job_stats["timeouts"] += 1
+                token = job_base["token"]
+                for index, reused in reuse_flags.items():
+                    cache = self._worker_cache[index]
+                    tokens = cache.setdefault(key, set())
+                    tokens.add(token)
+                    cache.move_to_end(key)
+                    while len(cache) > _SUBJECT_CACHE_LIMIT:
+                        evicted_key, _tokens = cache.popitem(last=False)
+                        self._pending_evict[index].append(evicted_key)
+                    # PPSFP states pin their packed pattern streams and cannot
+                    # be evicted worker-side (the parent would stop re-shipping
+                    # the patterns), so a subject churning through many pattern
+                    # sets is evicted wholesale and re-ships on next use.
+                    if (
+                        kind == "ppsfp"
+                        and key in cache
+                        and sum(1 for t in cache[key] if t[0] == "ppsfp")
+                        > _SESSION_STATE_LIMIT
+                    ):
+                        del cache[key]
+                        self._pending_evict[index].append(key)
+                    if slab == 0 and attempt == 0 and reused:
+                        reuse_hits += 1
+                complete = all(
+                    self._outcomes[index] >= 0 for index in range(count)
+                )
+                if complete:
+                    # A late failure with a fully-resolved outcome array is
+                    # still a valid result -- every code is deterministic
+                    # and the merge is index-ordered -- so accept it (after
+                    # healing any casualties) instead of burning retries.
+                    if failures:
+                        self._heal()
+                    break
                 self._heal()
-                unprocessed = sum(1 for code in slab_codes if code < 0)
-                raise ReproError(
-                    f"campaign pool job failed ({unprocessed} faults "
-                    "unprocessed):\n" + "\n".join(failures)
+            slab_codes = list(self._outcomes[:count])
+            if slab_progress is not None:
+                slab_progress()  # final snapshot (also feeds on-failure saves)
+            if any(code < 0 for code in slab_codes):
+                self.stats["retries"] += job_stats["retries"]
+                self.stats["timeouts"] += job_stats["timeouts"]
+                self.stats["redispatched_faults"] += job_stats["redispatched_faults"]
+                self.stats["redispatched_chunks"] += job_stats["redispatched_chunks"]
+                self.last_job = {
+                    "chunk_size": slab_chunk,
+                    "chunks_stolen": steals,
+                    "reuse_hits": reuse_hits,
+                    **job_stats,
+                }
+                self._raise_exhausted(
+                    kind,
+                    failures,
+                    attempts=budget + 1,
+                    unprocessed=sum(1 for code in slab_codes if code < 0),
+                    deadline=deadline,
                 )
             codes.extend(slab_codes)
         self.stats[kind if kind == "ppsfp" else "campaigns"] += 1
         self.stats["reuse_hits"] += reuse_hits
+        for stat_key, value in job_stats.items():
+            self.stats[stat_key] += value
         self.last_job = {
             "chunk_size": slab_chunk,
             "chunks_stolen": steals,
             "reuse_hits": reuse_hits,
+            **job_stats,
         }
         return codes
 
@@ -615,6 +910,10 @@ class CampaignPool:
         chunk_size: Optional[int],
         options: Dict[str, object],
         collapse: str = "none",
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+        resume: Optional[Sequence[int]] = None,
+        progress: Optional[Callable[[int, List[int]], None]] = None,
     ) -> List[int]:
         """Outcome codes of one fault-simulation campaign (engine protocol).
 
@@ -623,6 +922,10 @@ class CampaignPool:
         list when the caller restricted the universe, else ``None`` and
         workers recompute ``fault_universe()`` -- applying ``collapse``
         to it deterministically -- from their cached subject.
+        ``timeout``/``retries`` override the pool defaults for this job;
+        ``resume`` pre-fills already-resolved outcome codes (checkpoint
+        resume) and ``progress(offset, slab_codes)`` receives periodic
+        snapshots of the shared outcome array for checkpointing.
         """
         token = (
             "campaign",
@@ -640,7 +943,18 @@ class CampaignPool:
             "collapse": collapse,
             "token": token,
         }
-        return self._run("campaign", controller, total, faults, job_base, chunk_size)
+        return self._run(
+            "campaign",
+            controller,
+            total,
+            faults,
+            job_base,
+            chunk_size,
+            timeout=timeout,
+            retries=retries,
+            resume=resume,
+            progress=progress,
+        )
 
     def ppsfp_flags(
         self,
@@ -651,6 +965,8 @@ class CampaignPool:
         engine: str = "superposed",
         chunk_size: Optional[int] = None,
         collapse: str = "none",
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
     ) -> List[int]:
         """Per-fault detection flags of one PPSFP pattern-set simulation."""
         patterns = list(patterns)
@@ -661,4 +977,13 @@ class CampaignPool:
             "collapse": collapse,
             "token": ("ppsfp", len(patterns), digest),
         }
-        return self._run("ppsfp", netlist, total, faults, job_base, chunk_size)
+        return self._run(
+            "ppsfp",
+            netlist,
+            total,
+            faults,
+            job_base,
+            chunk_size,
+            timeout=timeout,
+            retries=retries,
+        )

@@ -20,7 +20,7 @@ import os
 
 import pytest
 
-from repro.exceptions import ReproError
+from repro.exceptions import PoolClosed, ReproError
 from repro.faults import CampaignPool, measure_coverage, simulate_patterns
 from repro.faults.coverage import measure_coverage as serial_measure
 from repro.faults.simulator import exhaustive_patterns
@@ -198,16 +198,15 @@ class TestFailurePropagation:
 
 
 class TestLifecycle:
-    def test_double_close_raises(self):
+    def test_double_close_is_idempotent(self):
         pool = CampaignPool(1)
         pool.close()
-        with pytest.raises(ReproError, match="closed"):
-            pool.close()
+        pool.close()  # second close is a no-op, not an error
 
-    def test_use_after_close_raises(self, controller):
+    def test_use_after_close_raises_pool_closed(self, controller):
         pool = CampaignPool(1)
         pool.close()
-        with pytest.raises(ReproError, match="closed"):
+        with pytest.raises(PoolClosed, match="closed"):
             measure_coverage(
                 controller, cycles=CYCLES, seed=SEED, dropping=True, pool=pool
             )
@@ -217,11 +216,113 @@ class TestLifecycle:
             CampaignPool(0)
         with pytest.raises(ReproError):
             CampaignPool(1, capacity=0)
+        with pytest.raises(ReproError):
+            CampaignPool(1, retries=-1)
+        with pytest.raises(ReproError):
+            CampaignPool(1, timeout=0)
 
     def test_context_manager_closes(self, controller):
         with CampaignPool(1) as pool:
             measure_coverage(
                 controller, cycles=CYCLES, seed=SEED, dropping=True, pool=pool
             )
-        with pytest.raises(ReproError, match="closed"):
-            pool.close()
+        with pytest.raises(PoolClosed, match="closed"):
+            measure_coverage(
+                controller, cycles=CYCLES, seed=SEED, dropping=True, pool=pool
+            )
+
+    def test_close_leaves_no_live_children(self, controller):
+        pool = CampaignPool(2)
+        measure_coverage(
+            controller, cycles=CYCLES, seed=SEED, dropping=True, pool=pool
+        )
+        children = [process for process, _connection in pool._members]
+        assert all(process.is_alive() for process in children)
+        pool.close()
+        assert not any(process.is_alive() for process in children)
+
+    def test_close_escalates_on_hung_worker(self, controller):
+        # A worker wedged in an injected infinite hang cannot honour the
+        # cooperative shutdown message; close() must escalate to
+        # terminate/kill and still reap it.
+        from repro.faults.chaos import ChaosEvent, ChaosPlan
+
+        plan = ChaosPlan([ChaosEvent(kind="hang", worker=0, on_chunk=0)])
+        pool = CampaignPool(2, timeout=1.0, retries=1, chaos=plan)
+        report = measure_coverage(
+            controller, cycles=CYCLES, seed=SEED, dropping=True, pool=pool
+        )
+        assert report.total > 0
+        children = [process for process, _connection in pool._members]
+        pool.close(timeout=1.0)
+        assert not any(process.is_alive() for process in children)
+
+    def test_sigint_leaves_no_orphans(self, tmp_path):
+        # Interrupt a pooled campaign mid-flight with SIGINT: the parent
+        # must exit its context manager cleanly, reap every worker, and
+        # leave no orphan children or shared-memory leak warnings behind.
+        import signal
+        import subprocess
+        import sys
+        import textwrap
+        import time
+
+        script = textwrap.dedent(
+            """
+            import os, signal, sys, threading
+            sys.path.insert(0, %r)
+            from repro.suite import shift_register
+            from repro.bist import build_conventional_bist
+            from repro.faults import CampaignPool, measure_coverage
+
+            controller = build_conventional_bist(shift_register(2))
+            with CampaignPool(2) as pool:
+                pids = [process.pid for process, _ in pool._members]
+                print("PIDS", *pids, flush=True)
+                def interrupt():
+                    os.kill(os.getpid(), signal.SIGINT)
+                threading.Timer(0.4, interrupt).start()
+                try:
+                    while True:
+                        measure_coverage(
+                            controller, cycles=64, seed=5,
+                            dropping=True, pool=pool,
+                        )
+                except KeyboardInterrupt:
+                    pass
+            print("CLOSED", flush=True)
+            """
+        ) % (os.path.join(os.path.dirname(__file__), os.pardir, "src"),)
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "CLOSED" in result.stdout
+        pids = [
+            int(token)
+            for line in result.stdout.splitlines()
+            if line.startswith("PIDS")
+            for token in line.split()[1:]
+        ]
+        assert pids, result.stdout
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            live = [pid for pid in pids if _pid_alive(pid)]
+            if not live:
+                break
+            time.sleep(0.1)
+        assert not live, f"orphan worker pids after SIGINT: {live}"
+        assert "leaked" not in result.stderr, result.stderr
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
