@@ -33,7 +33,11 @@ the optimised results are bit-identical to the reference paths:
   pinned workload of meet/join/refines/m/M over real machine structure;
 * **logic_minimize**: two-level minimization -- the string-cube reference
   minimizers versus the packed integer-cube engines on a pinned corpus
-  (identical covers).
+  (identical covers);
+* **corpus_sweep**: the registry-driven sweep harness end to end over a
+  corpus slice -- uncollapsed versus equivalence-collapsed campaigns,
+  with the metrics records (modulo collapse telemetry) required to be
+  identical.
 
 Emits a machine-readable ``BENCH JSON: {...}`` line (and writes
 ``benchmarks/results/bench_speed.json``) so speedups are tracked across
@@ -420,6 +424,59 @@ def bench_logic_minimize(n_functions: int, max_inputs: int) -> dict:
     }
 
 
+def bench_corpus_sweep(limit: int) -> dict:
+    """The registry-driven corpus sweep harness end to end.
+
+    Runs the same corpus slice (kiss classics + planted structures)
+    through ``run_sweep`` uncollapsed versus equivalence-collapsed --
+    the configuration the sweep ships with.  ``identical`` compares the
+    full metrics records modulo the collapse telemetry itself (the
+    collapse layer's contract: scheduled work shrinks, reports don't
+    move), so the harness's ledger determinism is exercised under both
+    configurations on every benchmark run.
+    """
+    import shutil
+    import tempfile
+
+    from repro.suite.sweep import SweepConfig, run_sweep
+
+    base = dict(
+        families=("mcnc", "pop-structured"), limit=limit, record_timings=False
+    )
+
+    def records_of(out_dir):
+        with open(os.path.join(out_dir, "metrics.jsonl"), encoding="utf-8") as fh:
+            rows = [json.loads(line) for line in fh if line.strip()]
+        for row in rows:
+            row.pop("telemetry", None)
+        return rows
+
+    plain_dir = tempfile.mkdtemp(prefix="sweep_plain_")
+    collapsed_dir = tempfile.mkdtemp(prefix="sweep_collapsed_")
+    try:
+        plain, plain_s = _timed(
+            lambda: run_sweep(SweepConfig(**base, collapse="none"), plain_dir)
+        )
+        collapsed, collapsed_s = _timed(
+            lambda: run_sweep(SweepConfig(**base, collapse="equiv"), collapsed_dir)
+        )
+        identical = records_of(plain_dir) == records_of(collapsed_dir)
+    finally:
+        shutil.rmtree(plain_dir, ignore_errors=True)
+        shutil.rmtree(collapsed_dir, ignore_errors=True)
+    return {
+        "bench": f"corpus_sweep/{plain.records}-machines",
+        "machines": plain.records,
+        "faults": plain.summary["coverage"]["total_faults"],
+        "baseline_s": round(plain_s, 4),
+        "optimized_s": round(collapsed_s, 4),
+        "speedup": (
+            round(plain_s / collapsed_s, 2) if collapsed_s else float("inf")
+        ),
+        "identical": identical and plain.summary["errors"] == 0,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -441,6 +498,7 @@ def main(argv=None) -> int:
         collapse_name = "dk27"
         kernel_case = dict(name="dk512", repeats=5)
         logic_case = dict(n_functions=12, max_inputs=7)
+        corpus_limit = 3
     else:
         coverage_cases = [
             ("dk27", "conventional"),
@@ -455,6 +513,7 @@ def main(argv=None) -> int:
         collapse_name = "dk14"
         kernel_case = dict(name="dk16", repeats=5)
         logic_case = dict(n_functions=40, max_inputs=8)
+        corpus_limit = 8
 
     baseline_payload = None
     baseline_path = os.path.join(RESULTS_DIR, "bench_speed.json")
@@ -531,6 +590,15 @@ def main(argv=None) -> int:
         f"{logic_bench['baseline_s']:.2f}s -> "
         f"{logic_bench['optimized_s']:.2f}s "
         f"(x{logic_bench['speedup']}, identical={logic_bench['identical']})"
+    )
+    corpus_bench = bench_corpus_sweep(corpus_limit)
+    results.append(corpus_bench)
+    print(
+        f"{corpus_bench['bench']}: {corpus_bench['machines']} machines / "
+        f"{corpus_bench['faults']} faults, "
+        f"{corpus_bench['baseline_s']:.2f}s -> "
+        f"{corpus_bench['optimized_s']:.2f}s "
+        f"(x{corpus_bench['speedup']}, identical={corpus_bench['identical']})"
     )
 
     _print_baseline_comparison(results, baseline_payload)

@@ -31,5 +31,9 @@ echo "== synthesis equivalence (bitset kernels vs label oracle, Table-1 golden s
 python -m pytest tests/test_prop_partitions.py tests/test_search_fast.py \
   tests/test_table1_golden.py -q
 
+echo "== corpus + sweep harness (golden shards, manifest ledger, KISS round trips) =="
+python -m pytest tests/test_corpus_golden.py tests/test_sweep.py \
+  tests/test_prop_kiss.py -q
+
 echo "== speed benchmark (smoke; prints speedup vs committed baseline) =="
 python benchmarks/bench_speed.py --smoke

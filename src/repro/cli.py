@@ -10,6 +10,9 @@ Subcommands
 * ``table1`` / ``table2``     -- regenerate the paper's tables
 * ``arch NAME|FILE``          -- Figure 1-4 architecture comparison
 * ``coverage NAME|FILE``      -- self-test stuck-at fault coverage
+* ``sweep``                   -- synthesis→BIST campaigns over the corpus
+                                 with a manifest ledger (see ``--list``,
+                                 ``--verify``, ``--reproduce``)
 * ``example``                 -- the Figure 5-8 worked example
 """
 
@@ -224,6 +227,91 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
     finally:
         if pool is not None:
             pool.close()
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .suite import corpus
+    from .suite.sweep import SweepConfig, reproduce_run, run_sweep, verify_run
+
+    if args.list:
+        from .reporting import format_table
+
+        rows = [
+            (family.name, family.kind, len(family), family.description)
+            for family in corpus.families().values()
+        ]
+        print(
+            format_table(
+                ("family", "kind", "members", "description"),
+                rows,
+                title="Benchmark corpus families",
+                align_left=(0, 1, 3),
+            )
+        )
+        return 0
+    if args.verify:
+        outcome = verify_run(args.verify)
+        for mismatch in outcome["mismatches"]:
+            print(f"MISMATCH: {mismatch}")
+        status = "OK" if outcome["ok"] else "FAILED"
+        print(
+            f"ledger {status}: {outcome['members']} corpus members, "
+            f"{outcome['records']} metrics records"
+        )
+        return 0 if outcome["ok"] else 1
+    if args.reproduce:
+        if not args.out:
+            print("error: --reproduce needs --out for the re-run", file=sys.stderr)
+            return 2
+        outcome = reproduce_run(args.reproduce, args.out)
+        status = "bit-identical" if outcome["identical"] else "DIVERGED"
+        print(
+            f"reproduction {status}: {outcome['records']} records, "
+            f"canonical {outcome['canonical_sha256'][:16]}... vs "
+            f"manifest {outcome['expected_sha256'][:16]}..."
+        )
+        return 0 if outcome["identical"] else 1
+
+    if not args.out:
+        print("error: sweep needs --out for the artifacts", file=sys.stderr)
+        return 2
+    shard_index, shard_count = 0, 1
+    if args.shard:
+        try:
+            index_text, count_text = args.shard.split("/", 1)
+            shard_index, shard_count = int(index_text) - 1, int(count_text)
+        except ValueError:
+            print(f"error: --shard wants I/N, got {args.shard!r}", file=sys.stderr)
+            return 2
+    config = SweepConfig(
+        families=tuple(args.families) if args.families else None,
+        limit=args.limit,
+        shard_index=shard_index,
+        shard_count=shard_count,
+        architecture=args.architecture,
+        cycles=args.cycles,
+        node_limit=args.node_limit,
+        collapse=args.collapse,
+        workers=args.workers,
+        pool=args.pool,
+        record_timings=not args.no_timings,
+    )
+
+    def progress(index, total, record):
+        if args.quiet:
+            return
+        status = record["status"]
+        note = ""
+        if status == "ok" and "coverage" in record:
+            note = f" cov={100.0 * record['coverage']['coverage']:.2f}%"
+        print(f"[{index + 1}/{total}] {record['id']}: {status}{note}")
+
+    result = run_sweep(config, args.out, progress=progress)
+    print()
+    print(experiments.format_sweep_summary(result.summary))
+    print(f"artifacts: {args.out} (manifest.json, metrics.jsonl, summary.json)")
+    print(f"metrics ledger: {result.canonical_sha256}")
     return 0
 
 
@@ -450,6 +538,64 @@ def build_parser() -> argparse.ArgumentParser:
         "verdicts really come from it; identical report, slower)",
     )
     coverage.set_defaults(handler=_cmd_coverage)
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="synthesis→BIST campaigns over the benchmark corpus "
+        "(manifest ledger, shardable, reproducible)",
+    )
+    sweep.add_argument(
+        "-o", "--out", default=None, metavar="DIR",
+        help="output directory for manifest.json/metrics.jsonl/summary.json",
+    )
+    sweep.add_argument(
+        "--families", nargs="*", default=None,
+        help="corpus families to sweep (default: all; see --list)",
+    )
+    sweep.add_argument(
+        "--limit", type=int, default=None,
+        help="cap members per family (deterministic prefix)",
+    )
+    sweep.add_argument(
+        "--shard", default=None, metavar="I/N",
+        help="run shard I of N (1-based; stable member hashing)",
+    )
+    sweep.add_argument(
+        "--architecture", choices=("pipeline", "conventional"),
+        default="pipeline",
+    )
+    sweep.add_argument("--cycles", type=int, default=None)
+    sweep.add_argument("--node-limit", type=int, default=200_000)
+    sweep.add_argument(
+        "--collapse", choices=("none", "equiv", "dominance"), default="equiv"
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=0,
+        help="chunk-stealing campaign workers (wall-clock only; the "
+        "metrics ledger is scheduler-independent)",
+    )
+    sweep.add_argument(
+        "--pool", type=int, default=0, metavar="N",
+        help="serve campaigns from N persistent worker processes",
+    )
+    sweep.add_argument(
+        "--no-timings", action="store_true",
+        help="omit wall-clock fields; metrics.jsonl becomes byte-identical "
+        "across re-runs (the canonical ledger always is)",
+    )
+    sweep.add_argument("--quiet", action="store_true")
+    sweep.add_argument(
+        "--list", action="store_true", help="list corpus families and exit"
+    )
+    sweep.add_argument(
+        "--verify", default=None, metavar="DIR",
+        help="verify a finished run's corpus + metrics ledgers and exit",
+    )
+    sweep.add_argument(
+        "--reproduce", default=None, metavar="MANIFEST",
+        help="re-run a sweep from its manifest into --out and compare ledgers",
+    )
+    sweep.set_defaults(handler=_cmd_sweep)
 
     commands.add_parser(
         "example", help="reproduce the Figure 5-8 worked example"

@@ -424,3 +424,64 @@ def run_paper_example() -> Dict[str, object]:
         "found_published_pair": {result.solution.pi, result.solution.theta}
         == {pi, theta},
     }
+
+
+# ---------------------------------------------------------------------------
+# Corpus sweeps (beyond the paper: population-scale validation)
+# ---------------------------------------------------------------------------
+
+
+def run_sweep(config=None, out_dir=None, **kwargs):
+    """Run a corpus sweep (see :mod:`repro.suite.sweep`).
+
+    Thin wrapper so the experiment surface stays one module: either pass a
+    ready :class:`~repro.suite.sweep.SweepConfig` or keyword fields for
+    one.  ``out_dir`` is required; returns the
+    :class:`~repro.suite.sweep.SweepResult`.
+    """
+    from .suite.sweep import SweepConfig, run_sweep as _run
+
+    if out_dir is None:
+        raise ReproError("run_sweep needs an out_dir for the artifacts")
+    if config is None:
+        config = SweepConfig(**kwargs)
+    elif kwargs:
+        raise ReproError("pass either a SweepConfig or keyword fields, not both")
+    return _run(config, out_dir)
+
+
+def format_sweep_summary(summary: Dict[str, object]) -> str:
+    """Human-readable digest of a sweep's ``summary.json`` payload."""
+    lines = [
+        f"machines: {summary['machines']} "
+        f"({summary['ok']} ok, {summary['errors']} errors)",
+    ]
+    shard = summary.get("shard")
+    if shard and shard.get("count", 1) > 1:
+        lines.append(f"shard:    {shard['index'] + 1} of {shard['count']}")
+    for record in summary.get("error_ids", []):
+        lines.append(f"  error: {record}")
+    synthesis = summary.get("synthesis")
+    if synthesis:
+        lines.append(
+            f"synthesis: {synthesis['exact']} exact, "
+            f"{synthesis['inexact']} inexact, "
+            f"{synthesis['nontrivial']} nontrivial factorizations"
+        )
+    coverage = summary.get("coverage")
+    if coverage:
+        lines.append(
+            f"coverage: mean {100.0 * coverage['mean_coverage']:.2f}%, "
+            f"min {100.0 * coverage['min_coverage']:.2f}% "
+            f"({coverage['min_coverage_id']}); "
+            f"{coverage['total_detected']}/{coverage['total_faults']} faults"
+        )
+    collapse = summary.get("collapse")
+    if collapse:
+        lines.append(
+            f"collapse: mean reduction "
+            f"{100.0 * collapse['mean_reduction']:.1f}%"
+        )
+    if "elapsed_s" in summary:
+        lines.append(f"elapsed:  {summary['elapsed_s']:.2f}s")
+    return "\n".join(lines)

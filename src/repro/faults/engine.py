@@ -179,6 +179,7 @@ __all__ = [
     "stream_errors",
     "run_campaign",
     "CAMPAIGN_STATS",
+    "campaign_telemetry",
     "DegradationEvent",
 ]
 
@@ -191,6 +192,26 @@ __all__ = [
 #: Diagnostics only -- never part of the returned report, which stays
 #: bit-identical across schedules.
 CAMPAIGN_STATS: Dict[str, object] = {}
+
+
+def campaign_telemetry() -> Dict[str, object]:
+    """Deterministic, JSON-able slice of the last campaign's telemetry.
+
+    The sweep harness (:mod:`repro.suite.sweep`) embeds this in each
+    ``metrics.jsonl`` record, so only fields that are a pure function of
+    the campaign *configuration* belong here: the collapse class counts
+    (structural), the pattern-parallel ``dropped`` count (fixed by the
+    chunking parameters, not by which worker stole which chunk) and the
+    worker count.  Scheduling noise -- per-worker steal tallies, retries,
+    respawns -- stays in :data:`CAMPAIGN_STATS` only, because metrics
+    records must reproduce bit-identically from a manifest's seeds.
+    """
+    collapse = CAMPAIGN_STATS.get("collapse")
+    return {
+        "collapse": dict(collapse) if collapse else None,
+        "dropped": CAMPAIGN_STATS.get("dropped"),
+        "workers": CAMPAIGN_STATS.get("workers"),
+    }
 
 #: grace period (seconds) for the deterministic post-join error drain: a
 #: failed worker's traceback may still be in flight through the queue's

@@ -1,10 +1,14 @@
-"""Benchmark suite: stand-ins for the paper's Table-1 machines.
+"""Benchmark suite: Table-1 stand-ins plus the industrial-scale corpus.
 
 ``shiftreg`` and the Figure-5 running example are exact reconstructions;
 the remaining IWLS'93 machines are shape-matched synthetic substitutes
-(see DESIGN.md, section 3).
+(see DESIGN.md, section 3).  Beyond Table 1, :mod:`repro.suite.corpus`
+organises KISS2 benchmark families and seeded generated populations into
+a ledgered corpus, and :mod:`repro.suite.sweep` runs synthesis→BIST
+campaigns over it with reproducible manifests.
 """
 
+from . import corpus
 from .generators import (
     PlantedMachine,
     full_product,
@@ -16,9 +20,11 @@ from .generators import (
     unstructured,
 )
 from .registry import (
+    GENERATORS,
     PAPER_TABLE1,
     PaperRow,
     SuiteEntry,
+    build_from_spec,
     entries,
     entry,
     load,
@@ -28,6 +34,9 @@ from .registry import (
 )
 
 __all__ = [
+    "corpus",
+    "GENERATORS",
+    "build_from_spec",
     "PlantedMachine",
     "grid_embedded",
     "full_product",

@@ -1,10 +1,18 @@
 """The benchmark registry: one entry per row of the paper's Table 1.
 
-Each entry records the paper's published numbers, how the stand-in machine
-is constructed (see DESIGN.md section 3 for the substitution rationale),
-and the search options used by the Table-1/Table-2 benches (the paper ran
-``tbk`` under a time limit and flagged the row with ``*``; we do the same
-through node limits so runs are deterministic).
+Each entry records the paper's published numbers, a JSON-able generator
+``spec`` describing how the stand-in machine is constructed (see DESIGN.md
+section 3 for the substitution rationale), and the search options used by
+the Table-1/Table-2 benches (the paper ran ``tbk`` under a time limit and
+flagged the row with ``*``; we do the same through node limits so runs are
+deterministic).
+
+The ``spec`` dicts are the registry's contribution to the corpus layer
+(:mod:`repro.suite.corpus`): because every machine is reconstructible from
+its spec alone, sweep manifests can embed the specs and a re-run needs
+nothing but the manifest to rebuild bit-identical machines.
+:func:`build_from_spec` is the single dispatch point shared by the Table-1
+suite, the generated corpus populations, and manifest reproduction.
 
 Machines are cached after first construction; seeds are pinned so every
 run of the suite sees identical machines.
@@ -13,10 +21,10 @@ run of the suite sees identical machines.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..exceptions import ReproError
-from ..fsm import MealyMachine
+from ..fsm.random_machines import random_mealy
 from .generators import (
     PlantedMachine,
     full_product,
@@ -26,6 +34,33 @@ from .generators import (
     two_coset,
     unstructured,
 )
+
+# Generator dispatch for JSON-able machine specs.  A spec is
+# ``{"generator": <name>, **kwargs}``; everything else is passed to the
+# generator verbatim, so a spec embedded in a sweep manifest reconstructs
+# the exact machine (same pinned seed, same symbols) with no registry
+# lookup at all.
+GENERATORS = {
+    "grid_embedded": grid_embedded,
+    "full_product": full_product,
+    "two_coset": two_coset,
+    "unstructured": unstructured,
+    "shift_register": shift_register,
+    "random_mealy": random_mealy,
+}
+
+
+def build_from_spec(spec: Mapping):
+    """Build a machine (or :class:`PlantedMachine`) from a generator spec."""
+    params = dict(spec)
+    try:
+        generator = GENERATORS[params.pop("generator")]
+    except KeyError as exc:
+        raise ReproError(
+            f"unknown generator in spec {dict(spec)!r}; "
+            f"available: {sorted(GENERATORS)}"
+        ) from exc
+    return generator(**params)
 
 
 @dataclass(frozen=True)
@@ -47,16 +82,26 @@ class PaperRow:
 
 @dataclass(frozen=True)
 class SuiteEntry:
-    """A benchmark machine with its paper row and bench configuration."""
+    """A benchmark machine with its paper row and bench configuration.
+
+    ``spec`` is the JSON-able generator spec the machine is built from
+    (via :func:`build_from_spec`); it doubles as the entry's corpus
+    metadata, so `repro.suite.corpus` can expose the Table-1 suite as one
+    corpus family and sweep manifests can pin it member by member.
+    """
 
     name: str
     category: str  # "exact" | "planted" | "unstructured"
     description: str
     paper: PaperRow
-    builder: Callable[[], object]  # -> MealyMachine or PlantedMachine
+    spec: Mapping  # JSON-able generator parameters (see build_from_spec)
     search_kwargs: Dict = field(default_factory=dict)
 
-    def load(self) -> MealyMachine:
+    def builder(self):
+        """Construct the machine object described by ``spec``."""
+        return build_from_spec(self.spec)
+
+    def load(self):
         built = self.builder()
         if isinstance(built, PlantedMachine):
             return built.machine
@@ -96,42 +141,49 @@ _ENTRIES: Tuple[SuiteEntry, ...] = (
         "planted",
         "shape-matched stand-in: 10 states embedded in a 7x7 grid",
         _ROWS["bbara"],
-        lambda: grid_embedded(7, 7, 10, n_inputs=4, n_outputs=2, seed=11, name="bbara"),
+        {"generator": "grid_embedded", "k1": 7, "k2": 7, "n_states": 10,
+         "n_inputs": 4, "n_outputs": 2, "seed": 11, "name": "bbara"},
     ),
     SuiteEntry(
         "bbtas",
         "unstructured",
         "shape-matched stand-in: random reduced machine, 6 states",
         _ROWS["bbtas"],
-        lambda: unstructured(6, n_inputs=4, n_outputs=2, seed=21, name="bbtas"),
+        {"generator": "unstructured", "n_states": 6, "n_inputs": 4,
+         "n_outputs": 2, "seed": 21, "name": "bbtas"},
     ),
     SuiteEntry(
         "dk14",
         "unstructured",
         "shape-matched stand-in: random reduced machine, 7 states",
         _ROWS["dk14"],
-        lambda: unstructured(7, n_inputs=8, n_outputs=5, seed=31, name="dk14"),
+        {"generator": "unstructured", "n_states": 7, "n_inputs": 8,
+         "n_outputs": 5, "seed": 31, "name": "dk14"},
     ),
     SuiteEntry(
         "dk15",
         "unstructured",
         "shape-matched stand-in: random reduced machine, 4 states",
         _ROWS["dk15"],
-        lambda: unstructured(4, n_inputs=8, n_outputs=5, seed=41, name="dk15"),
+        {"generator": "unstructured", "n_states": 4, "n_inputs": 8,
+         "n_outputs": 5, "seed": 41, "name": "dk15"},
     ),
     SuiteEntry(
         "dk16",
         "planted",
         "shape-matched stand-in: 27 states embedded in a 24x24 grid",
         _ROWS["dk16"],
-        lambda: grid_embedded(
-            24, 24, 27, n_inputs=3, n_outputs=3, seed=18, max_tries=2000,
-            name="dk16",
-        ),
-        # The full pruned tree for this stand-in has ~5.0M nodes and takes
-        # ~3 minutes to exhaust (yielding the same (24,24) solution); the
-        # bench runs under a node limit.  "fine_first" ordering reaches the
-        # planted factorisation early (see the ablation bench).
+        {"generator": "grid_embedded", "k1": 24, "k2": 24, "n_states": 27,
+         "n_inputs": 3, "n_outputs": 3, "seed": 18, "max_tries": 2000,
+         "name": "dk16"},
+        # The full pruned tree for this stand-in has ~5M nodes; the bench
+        # runs under a node limit so Table-1 sweeps stay seconds-scale,
+        # and the exhausted tree's exact stats are pinned by the
+        # REPRO_GOLDEN_HEAVY-gated golden in tests/test_table1_golden.py
+        # (tests/golden/ostr_table1_full_dk16.json): same (24,24)
+        # solution, no surprises past the limit.  "fine_first" ordering
+        # reaches the planted factorisation early (see the ablation
+        # bench).
         search_kwargs={"node_limit": 400_000, "basis_order": "fine_first"},
     ),
     SuiteEntry(
@@ -139,23 +191,24 @@ _ENTRIES: Tuple[SuiteEntry, ...] = (
         "unstructured",
         "shape-matched stand-in: random reduced machine, 8 states",
         _ROWS["dk17"],
-        lambda: unstructured(8, n_inputs=4, n_outputs=3, seed=61, name="dk17"),
+        {"generator": "unstructured", "n_states": 8, "n_inputs": 4,
+         "n_outputs": 3, "seed": 61, "name": "dk17"},
     ),
     SuiteEntry(
         "dk27",
         "planted",
         "shape-matched stand-in: 7 states embedded in a 6x7 grid",
         _ROWS["dk27"],
-        lambda: grid_embedded(6, 7, 7, n_inputs=2, n_outputs=2, seed=71, name="dk27"),
+        {"generator": "grid_embedded", "k1": 6, "k2": 7, "n_states": 7,
+         "n_inputs": 2, "n_outputs": 2, "seed": 71, "name": "dk27"},
     ),
     SuiteEntry(
         "dk512",
         "planted",
         "shape-matched stand-in: 15 states embedded in a 14x15 grid",
         _ROWS["dk512"],
-        lambda: grid_embedded(
-            14, 15, 15, n_inputs=2, n_outputs=3, seed=81, name="dk512"
-        ),
+        {"generator": "grid_embedded", "k1": 14, "k2": 15, "n_states": 15,
+         "n_inputs": 2, "n_outputs": 3, "seed": 81, "name": "dk512"},
         search_kwargs={"node_limit": 400_000},
     ),
     SuiteEntry(
@@ -163,14 +216,16 @@ _ENTRIES: Tuple[SuiteEntry, ...] = (
         "unstructured",
         "shape-matched stand-in: random reduced machine, 4 states",
         _ROWS["mc"],
-        lambda: unstructured(4, n_inputs=8, n_outputs=5, seed=91, name="mc"),
+        {"generator": "unstructured", "n_states": 4, "n_inputs": 8,
+         "n_outputs": 5, "seed": 91, "name": "mc"},
     ),
     SuiteEntry(
         "s1",
         "unstructured",
         "shape-matched stand-in: random reduced machine, 20 states",
         _ROWS["s1"],
-        lambda: unstructured(20, n_inputs=8, n_outputs=6, seed=101, name="s1"),
+        {"generator": "unstructured", "n_states": 20, "n_inputs": 8,
+         "n_outputs": 6, "seed": 101, "name": "s1"},
         search_kwargs={"node_limit": 400_000},
     ),
     SuiteEntry(
@@ -178,14 +233,15 @@ _ENTRIES: Tuple[SuiteEntry, ...] = (
         "exact",
         "exact reconstruction: 3-bit serial shift register",
         _ROWS["shiftreg"],
-        lambda: shift_register(3, name="shiftreg"),
+        {"generator": "shift_register", "n_bits": 3, "name": "shiftreg"},
     ),
     SuiteEntry(
         "tav",
         "planted",
         "shape-matched stand-in: full 2x2 product machine",
         _ROWS["tav"],
-        lambda: full_product(2, 2, n_inputs=4, n_outputs=4, seed=111, name="tav"),
+        {"generator": "full_product", "k1": 2, "k2": 2, "n_inputs": 4,
+         "n_outputs": 4, "seed": 111, "name": "tav"},
     ),
     SuiteEntry(
         "tbk",
@@ -193,7 +249,8 @@ _ENTRIES: Tuple[SuiteEntry, ...] = (
         "shape-matched stand-in: 32 states embedded in a 16x16 grid "
         "(searched under a node limit, like the paper's timeout)",
         _ROWS["tbk"],
-        lambda: two_coset(16, n_inputs=4, n_outputs=3, seed=7, name="tbk"),
+        {"generator": "two_coset", "k": 16, "n_inputs": 4, "n_outputs": 3,
+         "seed": 7, "name": "tbk"},
         search_kwargs={"node_limit": 120_000},
     ),
 )
@@ -228,7 +285,7 @@ def _built(name: str):
     return _MACHINE_CACHE[name]
 
 
-def load(name: str) -> MealyMachine:
+def load(name: str):
     """Load (and cache) a benchmark machine by name."""
     built = _built(name)
     if isinstance(built, PlantedMachine):
@@ -242,6 +299,6 @@ def load_planted(name: str) -> Optional[PlantedMachine]:
     return built if isinstance(built, PlantedMachine) else None
 
 
-def load_paper_example() -> MealyMachine:
+def load_paper_example():
     """The Figure-5 running example (not part of Table 1)."""
     return paper_example()

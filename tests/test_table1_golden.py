@@ -28,6 +28,11 @@ from repro.ostr.search import search_ostr
 GOLDEN_PATH = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "golden", "ostr_table1_stats.json"
 )
+DK16_FULL_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "golden",
+    "ostr_table1_full_dk16.json",
+)
 
 HEAVY = ("dk16", "dk512", "tbk")
 LIGHT = tuple(name for name in suite.names() if name not in HEAVY)
@@ -84,3 +89,41 @@ def test_reference_engine_matches_golden_heavy():
     golden = load_golden()
     for name in HEAVY:
         assert run_search(name, reference=True) == golden[name], name
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_GOLDEN_HEAVY"),
+    reason="exhausting dk16's full pruned tree (~5M nodes) takes about a "
+    "minute; set REPRO_GOLDEN_HEAVY=1 to run",
+)
+def test_dk16_exhaustive_matches_golden(update_golden):
+    """dk16 with the node limit retired: the full pruned tree, exactly.
+
+    Table 1 runs dk16 under a 400k-node budget (its ``search_kwargs``);
+    this pin is the unbounded search -- 5,025,131 nodes investigated, no
+    limit hit, same 10-flip-flop solution -- so the budgeted result is
+    provably not a truncation artifact and every pruning counter of the
+    complete enumeration is frozen.
+    """
+    machine = suite.load("dk16")
+    result = search_ostr(machine, basis_order="fine_first")
+    stats = dataclasses.asdict(result.stats)
+    stats.pop("elapsed_seconds")
+    record = {
+        "pi": repr(result.solution.pi),
+        "theta": repr(result.solution.theta),
+        "flipflops": result.solution.flipflops,
+        "stats": stats,
+    }
+    if update_golden:
+        with open(DK16_FULL_PATH, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return
+    with open(DK16_FULL_PATH, encoding="utf-8") as handle:
+        golden = json.load(handle)
+    assert not record["stats"]["node_limit_hit"]
+    assert not record["stats"]["timed_out"]
+    assert record == golden
+    # The budgeted Table-1 run must agree with the exhaustive optimum.
+    assert load_golden()["dk16"]["flipflops"] == record["flipflops"]
