@@ -35,5 +35,8 @@ echo "== corpus + sweep harness (golden shards, manifest ledger, KISS round trip
 python -m pytest tests/test_corpus_golden.py tests/test_sweep.py \
   tests/test_prop_kiss.py -q
 
+echo "== campaign service (job engine, HTTP surface, chaos, sweep bit-identity) =="
+python -m pytest tests/test_service.py -q
+
 echo "== speed benchmark (smoke; prints speedup vs committed baseline) =="
 python benchmarks/bench_speed.py --smoke

@@ -12,7 +12,11 @@ Subcommands
 * ``coverage NAME|FILE``      -- self-test stuck-at fault coverage
 * ``sweep``                   -- synthesis→BIST campaigns over the corpus
                                  with a manifest ledger (see ``--list``,
-                                 ``--verify``, ``--reproduce``)
+                                 ``--verify``, ``--reproduce``, ``--service``)
+* ``serve``                   -- the campaign service: an HTTP job queue
+                                 over sharded persistent worker pools
+* ``submit``                  -- submit one machine to a running service
+                                 and stream the result back
 * ``example``                 -- the Figure 5-8 worked example
 """
 
@@ -280,10 +284,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.shard:
         try:
             index_text, count_text = args.shard.split("/", 1)
-            shard_index, shard_count = int(index_text) - 1, int(count_text)
+            shard_1based, shard_count = int(index_text), int(count_text)
         except ValueError:
             print(f"error: --shard wants I/N, got {args.shard!r}", file=sys.stderr)
             return 2
+        # Range-check the user's 1-based input here, before it is
+        # converted to the library's 0-based convention -- otherwise
+        # "--shard 0/4" dies deep in the corpus with the baffling
+        # internal message "invalid shard -1/4".
+        if shard_count < 1 or not (1 <= shard_1based <= shard_count):
+            print(
+                f"error: --shard {args.shard} out of range: I/N needs "
+                f"1 <= I <= N (shards are numbered 1..N)",
+                file=sys.stderr,
+            )
+            return 2
+        shard_index = shard_1based - 1
     config = SweepConfig(
         families=tuple(args.families) if args.families else None,
         limit=args.limit,
@@ -307,11 +323,83 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             note = f" cov={100.0 * record['coverage']['coverage']:.2f}%"
         print(f"[{index + 1}/{total}] {record['id']}: {status}{note}")
 
-    result = run_sweep(config, args.out, progress=progress)
+    result = run_sweep(config, args.out, progress=progress, service=args.service)
     print()
     print(experiments.format_sweep_summary(result.summary))
     print(f"artifacts: {args.out} (manifest.json, metrics.jsonl, summary.json)")
     print(f"metrics ledger: {result.canonical_sha256}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import CampaignServer
+
+    server = CampaignServer(
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        pool_workers=args.pool_workers,
+        max_queued=args.max_queued,
+        verbose=not args.quiet,
+    )
+    host, port = server.address
+    print(
+        f"campaign service on http://{host}:{port} "
+        f"({args.shards} shard(s) x {args.pool_workers} pool worker(s), "
+        f"queue limit {args.max_queued})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("draining...", flush=True)
+        server.close()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .service import ServiceClient
+
+    machine = _load_machine(args.machine)
+    config = {"architecture": args.architecture, "record_timings": False}
+    if args.cycles is not None:
+        config["cycles"] = args.cycles
+    job_payload = {
+        "kiss": kiss.dumps(machine),
+        "name": machine.name,
+        "config": config,
+        "priority": args.priority,
+    }
+    client = ServiceClient(args.service)
+    accepted = client.submit(job_payload)
+    note = " (deduplicated onto an existing job)" if accepted.get("deduped") else ""
+    print(f"job {accepted['job']} {accepted['state']}{note}")
+    if args.no_wait:
+        return 0
+    for job in client.stream([accepted["job"]], timeout=args.timeout):
+        if args.json:
+            print(_json.dumps(job, sort_keys=True))
+        elif job["state"] == "done":
+            record = job["record"]
+            synthesis = record["synthesis"]
+            line = (
+                f"{record['name']}: S1xS2 = {synthesis['s1']}x{synthesis['s2']}, "
+                f"{synthesis['flipflops']} flip-flops "
+                f"(conventional {synthesis['conventional_ff']})"
+            )
+            if "coverage" in record:
+                coverage = record["coverage"]
+                line += (
+                    f"; coverage {100.0 * coverage['coverage']:.2f}% "
+                    f"({coverage['detected']}/{coverage['total']} faults, "
+                    f"{coverage['architecture']})"
+                )
+            print(line)
+        else:
+            print(f"job {job['job']} {job['state']}: {job.get('error')}")
+            return 1
     return 0
 
 
@@ -595,7 +683,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--reproduce", default=None, metavar="MANIFEST",
         help="re-run a sweep from its manifest into --out and compare ledgers",
     )
+    sweep.add_argument(
+        "--service", default=None, metavar="URL",
+        help="run the campaigns through a live campaign service "
+        "(see 'serve'); artifacts are identical to the in-process path",
+    )
     sweep.set_defaults(handler=_cmd_sweep)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the campaign service (HTTP job queue over persistent pools)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8337)
+    serve.add_argument(
+        "--shards", type=int, default=1,
+        help="parallel pool shards (bounds in-flight jobs)",
+    )
+    serve.add_argument(
+        "--pool-workers", type=int, default=2, metavar="N",
+        help="persistent worker processes per shard (0 = in-process campaigns)",
+    )
+    serve.add_argument(
+        "--max-queued", type=int, default=64, metavar="N",
+        help="admission control: refuse submissions past N queued jobs (429)",
+    )
+    serve.add_argument("--quiet", action="store_true")
+    serve.set_defaults(handler=_cmd_serve)
+
+    submit = commands.add_parser(
+        "submit",
+        help="submit one machine to a campaign service and stream the result",
+    )
+    submit.add_argument("machine", help="suite name or KISS2 file path")
+    submit.add_argument(
+        "--service", default="http://127.0.0.1:8337", metavar="URL"
+    )
+    submit.add_argument(
+        "--architecture", choices=("pipeline", "conventional"),
+        default="pipeline",
+    )
+    submit.add_argument("--cycles", type=int, default=None)
+    submit.add_argument(
+        "--priority", type=int, default=0,
+        help="higher runs earlier within the queue",
+    )
+    submit.add_argument(
+        "--no-wait", action="store_true",
+        help="submit and return the job id without waiting for the result",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=None,
+        help="bound the wait for the result (seconds)",
+    )
+    submit.add_argument(
+        "--json", action="store_true",
+        help="print the finished job as JSON instead of a summary line",
+    )
+    submit.set_defaults(handler=_cmd_submit)
 
     commands.add_parser(
         "example", help="reproduce the Figure 5-8 worked example"

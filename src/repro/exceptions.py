@@ -93,3 +93,12 @@ class JobTimeout(ResilienceError):
 
 class WorkerCrash(ResilienceError):
     """Worker processes died (or closed their pipes) on every retry."""
+
+
+class AdmissionError(ReproError):
+    """The campaign service refused a job at admission control.
+
+    Raised when the job engine's bounded queue is full (or the engine is
+    draining for shutdown); the HTTP layer maps it to ``429 Too Many
+    Requests`` so clients can back off and retry.
+    """

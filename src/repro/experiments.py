@@ -431,13 +431,14 @@ def run_paper_example() -> Dict[str, object]:
 # ---------------------------------------------------------------------------
 
 
-def run_sweep(config=None, out_dir=None, **kwargs):
+def run_sweep(config=None, out_dir=None, service=None, **kwargs):
     """Run a corpus sweep (see :mod:`repro.suite.sweep`).
 
     Thin wrapper so the experiment surface stays one module: either pass a
     ready :class:`~repro.suite.sweep.SweepConfig` or keyword fields for
-    one.  ``out_dir`` is required; returns the
-    :class:`~repro.suite.sweep.SweepResult`.
+    one.  ``out_dir`` is required; ``service`` routes the campaigns
+    through a running campaign service URL (:mod:`repro.service`).
+    Returns the :class:`~repro.suite.sweep.SweepResult`.
     """
     from .suite.sweep import SweepConfig, run_sweep as _run
 
@@ -447,7 +448,7 @@ def run_sweep(config=None, out_dir=None, **kwargs):
         config = SweepConfig(**kwargs)
     elif kwargs:
         raise ReproError("pass either a SweepConfig or keyword fields, not both")
-    return _run(config, out_dir)
+    return _run(config, out_dir, service=service)
 
 
 def format_sweep_summary(summary: Dict[str, object]) -> str:

@@ -10,7 +10,13 @@ uninterrupted run.  :class:`CampaignCheckpoint` is that prefix on disk:
 * the file is keyed by a SHA-256 digest of the pickled subject *and* the
   full campaign token (cycles, seed, dropping, session options, collapse
   mode, and a digest of the exact scheduled fault sequence), so a stale
-  checkpoint from a different campaign is ignored, never merged;
+  checkpoint from a different campaign is ignored, never merged.  The
+  subject digest is the same SHA-256-of-pickle identity the
+  :class:`~repro.faults.pool.CampaignPool` subject cache and the campaign
+  service's job dedupe use (it was SHA-1 before the unification, so
+  checkpoints from older versions key differently and are treated as
+  "no checkpoint" -- the campaign restarts from scratch rather than
+  resuming from a mismatched snapshot);
 * codes are stored as a JSON array aligned with the schedule,
   ``-1`` marking still-unresolved entries;
 * writes go through a temporary file + :func:`os.replace`, so a crash

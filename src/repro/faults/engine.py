@@ -152,7 +152,9 @@ import hashlib
 import multiprocessing
 import pickle
 import queue as queue_module
+import threading
 import time
+from collections.abc import MutableMapping
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -183,7 +185,53 @@ __all__ = [
     "DegradationEvent",
 ]
 
-#: telemetry of the most recent :func:`run_campaign` in this process:
+class _ThreadLocalStats(MutableMapping):
+    """A dict façade whose contents are per-thread.
+
+    Campaign telemetry was a plain module-level dict, which is fine for
+    one campaign at a time but races as soon as two threads run campaigns
+    concurrently -- the campaign service executes one campaign per pool
+    shard thread, and each ``clear()``/``update()`` pair would trample the
+    other shard's telemetry mid-read.  Backing the same mapping interface
+    with :class:`threading.local` keeps every existing call site
+    (``CAMPAIGN_STATS[...]``, ``.get``, ``.clear``, ``.update``,
+    truthiness) working unchanged while giving each executor thread its
+    own snapshot; :func:`campaign_telemetry` therefore always describes
+    the campaign the *calling thread* just ran.
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+
+    @property
+    def _data(self) -> Dict[str, object]:
+        try:
+            return self._local.data
+        except AttributeError:
+            self._local.data = {}
+            return self._local.data
+
+    def __getitem__(self, key):
+        return self._data[key]
+
+    def __setitem__(self, key, value) -> None:
+        self._data[key] = value
+
+    def __delitem__(self, key) -> None:
+        del self._data[key]
+
+    def __iter__(self):
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:
+        return repr(self._data)
+
+
+#: telemetry of the most recent :func:`run_campaign` in the *calling
+#: thread* (per-thread storage; see :class:`_ThreadLocalStats`):
 #: ``workers``, ``chunk_size``, ``chunks_stolen`` (per worker), ``dropped``
 #: (faults screened out pattern-parallel), ``collapse`` (class count /
 #: universe reduction of the fault-collapsing layer, ``None`` when raw)
@@ -191,7 +239,7 @@ __all__ = [
 #: chunks/faults, checkpoint resume count, degradation fallbacks).
 #: Diagnostics only -- never part of the returned report, which stays
 #: bit-identical across schedules.
-CAMPAIGN_STATS: Dict[str, object] = {}
+CAMPAIGN_STATS: MutableMapping = _ThreadLocalStats()
 
 
 def campaign_telemetry() -> Dict[str, object]:
@@ -695,8 +743,17 @@ def _campaign_checkpoint(
     path: str,
     interval: float,
 ) -> CampaignCheckpoint:
-    """Checkpoint keyed by the subject and the *exact* campaign."""
-    subject_digest = hashlib.sha1(
+    """Checkpoint keyed by the subject and the *exact* campaign.
+
+    The subject digest is the SHA-256 of the pickled controller -- the
+    same content identity the :class:`~repro.faults.pool.CampaignPool`
+    subject cache and the campaign service's job dedupe key on, so one
+    digest scheme identifies a subject everywhere.  (It was SHA-1 before
+    the unification; checkpoints written by older versions therefore key
+    differently and are ignored as stale -- a safe failure mode, the
+    campaign just starts fresh.)
+    """
+    subject_digest = hashlib.sha256(
         pickle.dumps(controller, protocol=pickle.HIGHEST_PROTOCOL)
     ).hexdigest()
     schedule_digest = hashlib.sha256(

@@ -15,7 +15,10 @@ the workers alive instead:
   per-worker duplex pipes.  Two job kinds share the protocol: full
   ``measure_coverage`` campaigns and PPSFP pattern-set simulations.
 * **Subject + state caches.**  A job references its subject (controller or
-  netlist) by the SHA-1 of its pickled bytes; the payload ships only to
+  netlist) by the SHA-256 of its pickled bytes (:func:`subject_digest` --
+  the one content-identity scheme shared with the corpus/sweep ledgers,
+  campaign checkpoints and the campaign service's job dedupe); the
+  payload ships only to
   workers that have not cached that digest yet ("reuse hits"), and every
   worker keeps the unpickled subject -- with its lazily compiled netlist
   kernels -- plus the per-(subject, session-parameters) campaign state
@@ -83,7 +86,19 @@ from .collapse import FaultMap
 from .simulator import _ppsfp_chunk_flags, _ppsfp_state
 from .stuck_at import all_faults
 
-__all__ = ["CampaignPool"]
+__all__ = ["CampaignPool", "subject_digest"]
+
+
+def subject_digest(payload: bytes) -> str:
+    """Content identity of a pickled subject: hex SHA-256 of the bytes.
+
+    One digest scheme identifies a subject everywhere -- the pool's
+    worker-side subject caches, the campaign checkpoint keys
+    (:mod:`repro.faults.checkpoint`) and the campaign service's
+    duplicate-job detection all key on this value, so a cache hit in one
+    layer implies the same subject in every other.
+    """
+    return hashlib.sha256(payload).hexdigest()
 
 #: grace period (seconds) the parent keeps waiting for surviving workers
 #: after it has observed a crashed sibling -- a dead worker can leave the
@@ -497,6 +512,29 @@ class CampaignPool:
         if self._closed:
             raise PoolClosed("campaign pool is closed")
 
+    def stats_snapshot(self) -> Dict[str, object]:
+        """A coherent, JSON-able copy of the pool's telemetry.
+
+        ``stats`` and ``last_job`` are live mutable dicts; a reader in
+        another thread (the service's ``/metrics`` endpoint) would see
+        them mid-update.  This returns plain copies plus the pool shape
+        (worker count, slab capacity, configured deadline/retry budget,
+        liveness), safe to serialise at any time -- including on a closed
+        pool, where it reports ``closed: True`` instead of raising.
+        """
+        return {
+            "workers": self.workers,
+            "capacity": self._capacity,
+            "timeout": self.timeout,
+            "retries": self.retries,
+            "closed": self._closed,
+            "stats": dict(self.stats),
+            "last_job": {
+                key: (list(value) if isinstance(value, list) else value)
+                for key, value in self.last_job.items()
+            },
+        }
+
     def close(self, timeout: float = 5.0) -> None:
         """Shut the workers down; idempotent.
 
@@ -761,7 +799,7 @@ class CampaignPool:
             payload, key = self._payloads[subject]
         except (KeyError, TypeError):
             payload = pickle.dumps(subject, protocol=pickle.HIGHEST_PROTOCOL)
-            key = hashlib.sha1(payload).hexdigest()
+            key = subject_digest(payload)
             try:
                 self._payloads[subject] = (payload, key)
             except TypeError:
@@ -970,7 +1008,7 @@ class CampaignPool:
     ) -> List[int]:
         """Per-fault detection flags of one PPSFP pattern-set simulation."""
         patterns = list(patterns)
-        digest = hashlib.sha1("\n".join(patterns).encode("ascii")).hexdigest()
+        digest = hashlib.sha256("\n".join(patterns).encode("ascii")).hexdigest()
         job_base = {
             "patterns": patterns,
             "engine": engine,

@@ -1,0 +1,38 @@
+"""Campaign service: an async batch job engine over :class:`CampaignPool`.
+
+The production-shaped front half of the repro stack: clients submit
+synthesis→BIST-campaign jobs over HTTP and stream the resulting
+:class:`~repro.faults.coverage.CoverageReport`-bearing metrics records
+back as they finish, while the service multiplexes the work across
+sharded persistent worker pools with priority scheduling, bounded
+queues, SHA-256 content dedupe and graceful drain.
+
+Three layers, each usable on its own:
+
+* :class:`~repro.service.jobs.JobEngine` -- the in-process engine
+  (priority heaps, shard executors, admission control, dedupe).
+* :class:`~repro.service.app.CampaignServer` -- the stdlib
+  ``http.server`` REST front-end (``repro serve``).
+* :class:`~repro.service.client.ServiceClient` -- the typed HTTP client
+  (``repro submit``, ``repro sweep --service``).
+
+Determinism contract: a job's metrics record is a pure function of its
+subject and deterministic config (:func:`repro.suite.sweep.sweep_member`
+is the single unit of work on both sides), so a sweep driven through the
+service is bit-identical to the in-process path.
+"""
+
+from .app import CampaignServer, serve
+from .client import ServiceClient, ServiceError
+from .jobs import AdhocMember, Job, JobEngine, job_payload_key
+
+__all__ = [
+    "AdhocMember",
+    "CampaignServer",
+    "Job",
+    "JobEngine",
+    "ServiceClient",
+    "ServiceError",
+    "job_payload_key",
+    "serve",
+]

@@ -1,0 +1,246 @@
+"""Typed HTTP client for the campaign service (stdlib ``http.client``).
+
+:class:`ServiceClient` wraps the REST surface of :mod:`repro.service.app`
+with plain-Python calls and structured errors, and adds the one piece of
+protocol clients should not each reinvent: :meth:`run_batch`, which
+submits a list of jobs in admission-control-sized slices (backing off on
+429), then streams completions and returns the jobs *in submission
+order* -- the property the service-driven sweep relies on to write a
+``metrics.jsonl`` bit-identical to the in-process path.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from urllib.parse import quote, urlsplit
+
+from ..exceptions import AdmissionError, ReproError
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(ReproError):
+    """An HTTP-level failure talking to the campaign service."""
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """One connection-per-request client for a running campaign service."""
+
+    def __init__(self, url: str, timeout: float = 120.0) -> None:
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if parts.scheme not in ("http", ""):
+            raise ServiceError(f"campaign service wants http://, got {url!r}")
+        if not parts.hostname:
+            raise ServiceError(f"no host in service URL {url!r}")
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.timeout = timeout
+
+    # -- wire plumbing -------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload=None,
+        ok=(200, 202),
+    ) -> Tuple[int, object]:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        conn = self._connection()
+        try:
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServiceError(
+                    f"campaign service at {self.host}:{self.port} "
+                    f"unreachable: {exc}"
+                ) from exc
+            try:
+                decoded = json.loads(raw) if raw else None
+            except ValueError as exc:
+                raise ServiceError(
+                    f"non-JSON response ({response.status}): {raw[:200]!r}",
+                    status=response.status,
+                ) from exc
+            if response.status == 429:
+                message = "admission control refused the submission"
+                if isinstance(decoded, Mapping) and decoded.get("error"):
+                    message = str(decoded["error"])
+                error = AdmissionError(message)
+                error.accepted = (
+                    decoded.get("accepted", [])
+                    if isinstance(decoded, Mapping)
+                    else []
+                )
+                raise error
+            if response.status not in ok:
+                message = f"HTTP {response.status} on {method} {path}"
+                if isinstance(decoded, Mapping) and decoded.get("error"):
+                    message = f"{message}: {decoded['error']}"
+                raise ServiceError(message, status=response.status)
+            return response.status, decoded
+        finally:
+            conn.close()
+
+    # -- REST surface --------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        return self._request("GET", "/healthz")[1]
+
+    def metrics(self) -> Dict[str, object]:
+        return self._request("GET", "/metrics")[1]
+
+    def submit(self, job: Mapping) -> Dict[str, object]:
+        """Submit one job; returns its description (with ``deduped``)."""
+        return self._request("POST", "/jobs", payload=dict(job))[1]
+
+    def submit_batch(self, jobs: Sequence[Mapping]) -> List[Dict[str, object]]:
+        """Submit several jobs in one request (all-admitted-or-429)."""
+        return self._request("POST", "/jobs", payload=[dict(j) for j in jobs])[1]
+
+    def jobs(self) -> List[Dict[str, object]]:
+        return self._request("GET", "/jobs")[1]["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        return self._request("GET", f"/jobs/{quote(job_id)}")[1]
+
+    def cancel(self, job_id: str) -> str:
+        """Cancel a queued job; returns the job's resulting state."""
+        return self._request("DELETE", f"/jobs/{quote(job_id)}")[1]["state"]
+
+    def shutdown(self) -> Dict[str, object]:
+        """Ask the service to drain and stop."""
+        return self._request("POST", "/shutdown", payload={})[1]
+
+    def stream(
+        self, job_ids: Sequence[str], timeout: Optional[float] = None
+    ) -> Iterator[Dict[str, object]]:
+        """Yield full job descriptions as each finishes (completion order).
+
+        One long-lived chunked-NDJSON response; ``http.client`` decodes
+        the chunking transparently, so this just reads lines.  An
+        ``{"error": ...}`` line from the server becomes a
+        :class:`ServiceError`.
+        """
+        if not job_ids:
+            return
+        path = "/stream?jobs=" + quote(",".join(job_ids))
+        if timeout is not None:
+            path += f"&timeout={timeout}"
+        conn = self._connection()
+        try:
+            try:
+                conn.request("GET", path)
+                response = conn.getresponse()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServiceError(
+                    f"campaign service at {self.host}:{self.port} "
+                    f"unreachable: {exc}"
+                ) from exc
+            if response.status != 200:
+                raw = response.read()
+                try:
+                    decoded = json.loads(raw) if raw else {}
+                except ValueError:
+                    decoded = {}
+                raise ServiceError(
+                    f"HTTP {response.status} on GET /stream"
+                    + (f": {decoded['error']}" if decoded.get("error") else ""),
+                    status=response.status,
+                )
+            buffer = b""
+            while True:
+                block = response.read1(65536)
+                if not block:
+                    break
+                buffer += block
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if not line.strip():
+                        continue
+                    decoded = json.loads(line)
+                    if "error" in decoded and "job" not in decoded:
+                        raise ServiceError(str(decoded["error"]))
+                    yield decoded
+        finally:
+            conn.close()
+
+    # -- batch protocol ------------------------------------------------------
+
+    def run_batch(
+        self,
+        jobs: Sequence[Mapping],
+        batch_size: int = 16,
+        max_wait: float = 30.0,
+        progress=None,
+    ) -> List[Dict[str, object]]:
+        """Submit jobs respecting admission control; return them finished,
+        in submission order.
+
+        Jobs go up in ``batch_size`` slices; a 429 keeps whatever the
+        service admitted and retries the rest with linear backoff (bounded
+        by ``max_wait`` per slice -- admission pressure clears as campaigns
+        finish, so waiting is productive).  Completions stream back as
+        they happen (``progress(done, total, job)`` if given); the return
+        value is reassembled in submission order so callers get
+        deterministic output regardless of scheduling.
+        """
+        submitted: List[Dict[str, object]] = []
+        pending = [dict(job) for job in jobs]
+        while pending:
+            slice_jobs, pending = pending[:batch_size], pending[batch_size:]
+            while slice_jobs:
+                try:
+                    submitted.extend(self.submit_batch(slice_jobs))
+                    break
+                except AdmissionError as exc:
+                    admitted = getattr(exc, "accepted", [])
+                    submitted.extend(admitted)
+                    slice_jobs = slice_jobs[len(admitted) :]
+                    deadline = time.monotonic() + max_wait
+                    delay = 0.1
+                    while True:
+                        time.sleep(delay)
+                        if time.monotonic() >= deadline:
+                            raise ServiceError(
+                                f"admission control refused "
+                                f"{len(slice_jobs)} jobs for {max_wait}s: "
+                                f"{exc}",
+                                status=429,
+                            ) from exc
+                        delay = min(delay * 1.5, 2.0)
+                        break
+        order = [entry["job"] for entry in submitted]
+        finished: Dict[str, Dict[str, object]] = {}
+        # Dedupe hits alias several submissions onto one job id; stream
+        # each id once and fan its completion back out.
+        done = 0
+        for job in self.stream(list(dict.fromkeys(order))):
+            finished[job["job"]] = job
+            done += 1
+            if progress is not None:
+                progress(done, len(set(order)), job)
+        missing = [job_id for job_id in order if job_id not in finished]
+        if missing:
+            raise ServiceError(
+                f"stream ended without {len(missing)} jobs: {missing[:5]}"
+            )
+        return [finished[job_id] for job_id in order]

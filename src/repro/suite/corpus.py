@@ -300,6 +300,11 @@ def members(
                 f"unknown corpus families {unknown}; available: {list(registry)}"
             )
         selected = [registry[name] for name in registry if name in set(family_filter)]
+    if limit is not None and limit < 0:
+        # A negative limit would silently slice members off the *end* of
+        # each family (Python slicing semantics) -- an easy way to sweep
+        # 11 of 12 machines while believing you swept them all.
+        raise ReproError(f"limit must be >= 0, got {limit}")
     if shard_count < 1 or not (0 <= shard_index < shard_count):
         raise ReproError(
             f"invalid shard {shard_index}/{shard_count}: need 0 <= index < count"

@@ -81,6 +81,13 @@ class SweepConfig:
                 f"unknown architecture {self.architecture!r}; "
                 f"choose from {_ARCHITECTURES}"
             )
+        if self.limit is not None and self.limit < 0:
+            raise ReproError(f"limit must be >= 0, got {self.limit}")
+        if self.shard_count < 1 or not (0 <= self.shard_index < self.shard_count):
+            raise ReproError(
+                f"invalid shard {self.shard_index}/{self.shard_count}: "
+                f"need 0 <= index < count (the CLI takes 1-based I/N)"
+            )
 
     def to_dict(self) -> Dict[str, object]:
         payload = dataclasses.asdict(self)
@@ -142,8 +149,18 @@ def _corpus_ledger_digest(member_records: Sequence[Mapping]) -> str:
     return hashlib.sha256(("\n".join(lines) + "\n").encode("utf-8")).hexdigest()
 
 
-def _sweep_member(member, config: SweepConfig, pool) -> Dict[str, object]:
-    """Synthesis→BIST campaign on one corpus member; one metrics record."""
+def sweep_member(member, config: SweepConfig, pool=None) -> Dict[str, object]:
+    """Synthesis→BIST campaign on one corpus member; one metrics record.
+
+    This is the unit of work shared by the in-process sweep loop and the
+    campaign service (:mod:`repro.service`): both produce *this* record
+    for a given ``(member, config)``, which is why a sweep driven through
+    the service is bit-identical to the in-process path -- the canonical
+    metrics ledger is a pure function of the member and the deterministic
+    config fields, never of who ran the campaign.  ``member`` is anything
+    with the :class:`~repro.suite.corpus.CorpusMember` duck surface
+    (``member_id``/``family``/``name``/``kind``/``build()``/``sha256()``).
+    """
     from ..bist import build_conventional_bist, build_pipeline
     from ..faults import measure_coverage
     from ..faults.engine import campaign_telemetry
@@ -275,18 +292,57 @@ def _summarize(
     return summary
 
 
+def _service_records(
+    service: str, members, config: SweepConfig, progress=None
+) -> List[Dict[str, object]]:
+    """Run the sweep's member jobs through a live campaign service.
+
+    Submits one job per member (admission-control-aware batching) and
+    reassembles the finished records *in member order*, so the metrics
+    file written from them is bit-identical to the in-process loop's.
+    A job that failed without producing a record (an unexpected server
+    exception, not a structured campaign error) aborts the sweep --
+    silently dropping a member would corrupt the ledger.
+    """
+    from ..service.client import ServiceClient
+
+    client = ServiceClient(service)
+    jobs = [
+        {"member": member.to_manifest(), "config": config.to_dict()}
+        for member in members
+    ]
+    finished = client.run_batch(jobs)
+    records: List[Dict[str, object]] = []
+    for index, job in enumerate(finished):
+        record = job.get("record")
+        if record is None:
+            raise ReproError(
+                f"service job {job.get('job')} for {members[index].member_id} "
+                f"ended {job.get('state')!r} without a metrics record: "
+                f"{job.get('error')}"
+            )
+        records.append(record)
+        if progress is not None:
+            progress(index, len(members), record)
+    return records
+
+
 def run_sweep(
     config: SweepConfig,
     out_dir: str,
     members=None,
     progress=None,
+    service: Optional[str] = None,
 ) -> SweepResult:
     """Run a sweep and write ``manifest.json``/``metrics.jsonl``/``summary.json``.
 
     ``members`` overrides corpus selection (the reproduction path passes
     the manifest's own member list so nothing depends on the current
     registry); ``progress`` is an optional ``callable(index, total,
-    record)`` for CLI reporting.
+    record)`` for CLI reporting.  ``service`` routes the campaigns
+    through a running campaign service (:mod:`repro.service`) at that
+    URL instead of this process -- the artifacts are identical either
+    way (with timings disabled, byte-identical).
     """
     if members is None:
         members = corpus_mod.members(
@@ -299,28 +355,37 @@ def run_sweep(
 
     member_records = [member.to_manifest() for member in members]
 
-    pool = None
-    if config.pool:
-        from ..faults.pool import CampaignPool
-
-        pool = CampaignPool(config.pool)
     started = time.perf_counter()
-    records: List[Dict[str, object]] = []
     metrics_path = os.path.join(out_dir, METRICS_NAME)
-    try:
+    if service is not None:
+        records = _service_records(service, members, config, progress)
         with open(metrics_path, "w", encoding="utf-8") as handle:
-            for index, member in enumerate(members):
-                record = _sweep_member(member, config, pool)
-                records.append(record)
+            for record in records:
                 handle.write(
                     json.dumps(record, sort_keys=True, separators=(",", ":"))
                     + "\n"
                 )
-                if progress is not None:
-                    progress(index, len(members), record)
-    finally:
-        if pool is not None:
-            pool.close()
+    else:
+        pool = None
+        if config.pool:
+            from ..faults.pool import CampaignPool
+
+            pool = CampaignPool(config.pool)
+        records = []
+        try:
+            with open(metrics_path, "w", encoding="utf-8") as handle:
+                for index, member in enumerate(members):
+                    record = sweep_member(member, config, pool)
+                    records.append(record)
+                    handle.write(
+                        json.dumps(record, sort_keys=True, separators=(",", ":"))
+                        + "\n"
+                    )
+                    if progress is not None:
+                        progress(index, len(members), record)
+        finally:
+            if pool is not None:
+                pool.close()
     elapsed = time.perf_counter() - started
 
     summary = _summarize(

@@ -147,3 +147,55 @@ class TestScoap:
         assert code == 0
         assert "SCOAP score" in out
         assert "C1" in out and "lambda" in out
+
+
+class TestSweepShardParsing:
+    """Regression: bad --shard values must die at parse time with the
+    user's 1-based numbers, not deep in the corpus with 0-based ones."""
+
+    def test_shard_zero_rejected_at_parse_time(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "sweep", "--shard", "0/4", "-o", str(tmp_path / "out")
+        )
+        assert code == 2
+        assert "1 <= I <= N" in err
+        assert "shards are numbered 1..N" in err
+        # the old failure leaked the 0-based internal convention
+        assert "-1/4" not in err
+        assert not (tmp_path / "out").exists()
+
+    def test_shard_past_count_rejected(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "sweep", "--shard", "5/4", "-o", str(tmp_path / "out")
+        )
+        assert code == 2
+        assert "out of range" in err
+
+    def test_shard_zero_count_rejected(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "sweep", "--shard", "1/0", "-o", str(tmp_path / "out")
+        )
+        assert code == 2
+        assert "out of range" in err
+
+    def test_shard_malformed_rejected(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "sweep", "--shard", "first/four", "-o", str(tmp_path / "out")
+        )
+        assert code == 2
+        assert "wants I/N" in err
+
+    def test_full_range_shard_accepted(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys,
+            "sweep",
+            "--shard", "1/1",
+            "--families", "sequential",
+            "--limit", "1",
+            "--no-timings",
+            "--quiet",
+            "-o", str(tmp_path / "out"),
+        )
+        assert code == 0
+        assert "machines: 1" in out
+        assert (tmp_path / "out" / "manifest.json").exists()

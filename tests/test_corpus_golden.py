@@ -23,7 +23,7 @@ import pytest
 
 from repro.fsm import equivalence_partition, is_strongly_connected
 from repro.suite import corpus
-from repro.suite.sweep import SweepConfig, canonical_record, _sweep_member
+from repro.suite.sweep import SweepConfig, canonical_record, sweep_member
 
 SHARD_COUNT = 4
 SHARD_ENV = "REPRO_CORPUS_SHARD"
@@ -79,7 +79,7 @@ def build_shard(index: int) -> dict:
     }
     by_id = {member.member_id: member for member in members}
     for member_id in deep_ids(members):
-        record = _sweep_member(by_id[member_id], DEEP_CONFIG, pool=None)
+        record = sweep_member(by_id[member_id], DEEP_CONFIG, pool=None)
         assert record["status"] == "ok", record
         payload["deep"][member_id] = json.loads(canonical_record(record))
     return payload
@@ -110,7 +110,7 @@ def test_shard_matches_golden(index, update_golden):
         assert structural_record(by_id[member_id]) == expected, member_id
     assert sorted(golden["deep"]) == sorted(deep_ids(members))
     for member_id, expected in golden["deep"].items():
-        record = _sweep_member(by_id[member_id], DEEP_CONFIG, pool=None)
+        record = sweep_member(by_id[member_id], DEEP_CONFIG, pool=None)
         assert json.loads(canonical_record(record)) == expected, member_id
 
 

@@ -326,3 +326,34 @@ def _pid_alive(pid: int) -> bool:
     except PermissionError:
         return True
     return True
+
+
+class TestContentDigests:
+    """Regression: the pool's subject/pattern cache keys are SHA-256,
+    unified with the corpus/sweep ledgers and checkpoint keys (they were
+    SHA-1 before, leaving two digest schemes for one notion of content
+    identity)."""
+
+    def test_subject_digest_is_sha256(self):
+        import hashlib
+
+        from repro.faults.pool import subject_digest
+
+        payload = b"some pickled subject"
+        assert subject_digest(payload) == hashlib.sha256(payload).hexdigest()
+        assert len(subject_digest(b"")) == 64  # SHA-1 would be 40
+
+    def test_worker_cache_keys_are_sha256_of_payload(self, pool, controller):
+        import hashlib
+        import pickle
+
+        measure_coverage(
+            controller, cycles=CYCLES, seed=SEED, dropping=True, pool=pool
+        )
+        keys = {key for cache in pool._worker_cache for key in cache}
+        assert keys, "campaign should have cached its subject"
+        assert all(len(key) == 64 for key in keys)
+        expected = hashlib.sha256(
+            pickle.dumps(controller, protocol=pickle.HIGHEST_PROTOCOL)
+        ).hexdigest()
+        assert expected in keys

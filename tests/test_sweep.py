@@ -233,3 +233,71 @@ def test_sweep_errors_are_recorded_not_fatal(scratch_corpus, tmp_path):
     assert "incompletely specified" in record["error"]
     # The run still verifies: error records are part of the ledger too.
     assert verify_run(str(out))["ok"]
+
+
+class TestEmptySelections:
+    """Empty-slice sweeps (limit/shard combos selecting zero members)
+    must produce valid, verifiable, reproducible artifacts -- and the
+    silent-footgun inputs that *look* like empty selections must be
+    rejected loudly."""
+
+    def test_negative_limit_rejected_by_config(self):
+        # Regression: limit=-1 used to slide through to Python slicing
+        # and silently drop the *last* member of each family.
+        with pytest.raises(ReproError, match="limit must be >= 0"):
+            SweepConfig(limit=-1)
+
+    def test_negative_limit_rejected_by_corpus(self):
+        with pytest.raises(ReproError, match="limit must be >= 0"):
+            corpus.members(family_filter=("sequential",), limit=-1)
+
+    def test_out_of_range_shard_rejected_by_config(self):
+        with pytest.raises(ReproError, match="invalid shard"):
+            SweepConfig(shard_index=4, shard_count=4)
+        with pytest.raises(ReproError, match="invalid shard"):
+            SweepConfig(shard_index=0, shard_count=0)
+
+    def test_limit_zero_run_is_valid_and_verifiable(self, tmp_path):
+        out = tmp_path / "empty"
+        result = run_sweep(
+            SweepConfig(
+                families=("sequential",), limit=0, record_timings=False
+            ),
+            str(out),
+        )
+        assert result.records == 0
+        assert result.summary["machines"] == 0
+        assert (out / "metrics.jsonl").read_bytes() == b""
+        outcome = verify_run(str(out))
+        assert outcome["ok"] and outcome["records"] == 0
+
+    def test_empty_shard_run_is_valid_and_reproducible(self, tmp_path):
+        # sequential has 4 members; shard 2 of 8 is empty under the
+        # stable member hashing.
+        config = SweepConfig(
+            families=("sequential",),
+            shard_index=2,
+            shard_count=8,
+            record_timings=False,
+        )
+        assert not corpus.members(
+            family_filter=("sequential",), shard_index=2, shard_count=8
+        )
+        out = tmp_path / "empty-shard"
+        result = run_sweep(config, str(out))
+        assert result.records == 0
+        assert verify_run(str(out))["ok"]
+        outcome = reproduce_run(str(out), str(tmp_path / "again"))
+        assert outcome["identical"] and outcome["records"] == 0
+
+    def test_empty_run_summary_formats(self, tmp_path):
+        from repro.experiments import format_sweep_summary
+
+        result = run_sweep(
+            SweepConfig(
+                families=("sequential",), limit=0, record_timings=False
+            ),
+            str(tmp_path / "empty"),
+        )
+        text = format_sweep_summary(result.summary)
+        assert "machines: 0" in text
