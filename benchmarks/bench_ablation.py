@@ -16,6 +16,7 @@ import pytest
 
 from _bench_util import register_artifact
 from repro import suite
+from repro.exceptions import FsmError
 from repro.fsm import random_mealy
 from repro.ostr import exhaustive_ostr, search_ostr
 from repro.reporting import format_table
@@ -34,7 +35,7 @@ def _corpus():
                             max_tries=60,
                         )
                     )
-                except Exception:
+                except FsmError:
                     continue
     return machines
 

@@ -1,15 +1,34 @@
 #!/usr/bin/env bash
-# Repo verification: tier-1 tests, the cross-engine differential suite
-# (which fails on any golden-file drift), and a smoke run of the speed
-# benchmark (which asserts the optimised engine is bit-identical to the
-# reference paths).  When pytest-cov is available (CI installs it) the
-# tier-1 run additionally enforces the line-coverage floor over the
-# fault-simulation and netlist packages.  Used by CI and by hand before
-# merging.
+# Repo verification: the determinism lint (plus ruff/mypy when they are
+# installed -- the CI lint cell always runs them), tier-1 tests, the
+# cross-engine differential suite (which fails on any golden-file
+# drift), the prescreen-soundness suite with a validate-mode mini-sweep,
+# and a smoke run of the speed benchmark (which asserts the optimised
+# engine is bit-identical to the reference paths).  When pytest-cov is
+# available (CI installs it) the tier-1 run additionally enforces the
+# line-coverage floor over the fault-simulation and netlist packages.
+# Used by CI and by hand before merging.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== determinism lint (tools/lint/repro_lint.py) =="
+python tools/lint/repro_lint.py
+
+if command -v ruff >/dev/null 2>&1; then
+  echo "== ruff =="
+  ruff check src benchmarks tools
+else
+  echo "(ruff not installed; skipping -- the CI lint cell runs it)"
+fi
+
+if command -v mypy >/dev/null 2>&1; then
+  echo "== mypy (gradual; analysis/netlist/fsm strict) =="
+  mypy src/repro
+else
+  echo "(mypy not installed; skipping -- the CI lint cell runs it)"
+fi
 
 echo "== tier-1 tests =="
 if python -c "import pytest_cov" >/dev/null 2>&1; then
@@ -37,6 +56,15 @@ python -m pytest tests/test_corpus_golden.py tests/test_sweep.py \
 
 echo "== campaign service (job engine, HTTP surface, chaos, sweep bit-identity) =="
 python -m pytest tests/test_service.py -q
+
+echo "== prescreen soundness (validate-mode mini-sweep: engines vs the untestability prover) =="
+python -m pytest tests/test_prescreen.py tests/test_untestable.py \
+  tests/test_structure.py tests/test_repro_lint.py -q
+PRESCREEN_TMP="$(mktemp -d)"
+python -m repro.cli sweep --out "$PRESCREEN_TMP/validate" \
+  --families table1 --limit 4 --prescreen validate --no-timings --quiet
+python -m repro.cli sweep --verify "$PRESCREEN_TMP/validate"
+rm -rf "$PRESCREEN_TMP"
 
 echo "== speed benchmark (smoke; prints speedup vs committed baseline) =="
 python benchmarks/bench_speed.py --smoke

@@ -1,4 +1,21 @@
-"""Analysis utilities: SCOAP testability measures, signature aliasing."""
+"""Static analysis of netlists and BIST architectures.
+
+Four passes, from heuristic to sound:
+
+* :mod:`~repro.analysis.scoap` -- Goldstein SCOAP testability measures
+  (CC0/CC1/CO per net, per-branch observability, fault difficulty
+  scores); heuristic rankings of hard faults.
+* :mod:`~repro.analysis.aliasing` -- MISR signature-aliasing estimates
+  (theoretical 2^-k bound vs. empirical measurement) and register-width
+  recommendations.
+* :mod:`~repro.analysis.structure` -- structural verifier: dead nets,
+  unused inputs, unobservable cones, constant outputs, each as a
+  :class:`~repro.analysis.structure.Diagnostic` with a stable code and
+  severity.
+* :mod:`~repro.analysis.untestable` -- sound untestability prover
+  (ternary constant propagation + constant-blocked observability cones)
+  behind the campaign engines' ``prescreen=`` modes.
+"""
 
 from .scoap import INF, ScoapReport, analyze
 from .aliasing import (
@@ -6,6 +23,17 @@ from .aliasing import (
     empirical_aliasing,
     register_recommendation,
     theoretical_aliasing,
+)
+from .structure import Diagnostic, StructureReport, verify
+from .untestable import (
+    UNKNOWN,
+    UNTESTABLE_CONSTANT,
+    UNTESTABLE_UNOBSERVABLE,
+    FaultVerdict,
+    prove_controller,
+    prove_faults,
+    ternary_values,
+    untestable_faults,
 )
 
 __all__ = [
@@ -16,4 +44,15 @@ __all__ = [
     "theoretical_aliasing",
     "empirical_aliasing",
     "register_recommendation",
+    "Diagnostic",
+    "StructureReport",
+    "verify",
+    "UNKNOWN",
+    "UNTESTABLE_CONSTANT",
+    "UNTESTABLE_UNOBSERVABLE",
+    "FaultVerdict",
+    "prove_controller",
+    "prove_faults",
+    "ternary_values",
+    "untestable_faults",
 ]

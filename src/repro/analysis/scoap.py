@@ -30,23 +30,38 @@ INF = float("inf")
 
 @dataclass(frozen=True)
 class ScoapReport:
-    """SCOAP measures for every net of a combinational netlist."""
+    """SCOAP measures for every net of a combinational netlist.
+
+    ``branch_co`` maps each gate input pin ``(gate_index, pin)`` to its
+    observability *through that pin's consuming gate* -- the cost of
+    sensitizing the gate plus the stem's remaining path out.  The stem's
+    ``co`` is the minimum of its branches (or 0 at a primary output), so
+    ``branch_co[(g, p)] >= co[stem]`` always holds.
+    """
 
     netlist_name: str
     cc0: Dict[str, float]
     cc1: Dict[str, float]
     co: Dict[str, float]
+    branch_co: Dict[Tuple[int, int], float]
 
     def fault_score(self, fault: Fault) -> float:
         """Detection-difficulty estimate of a stuck-at fault.
 
         Detecting stuck-at-v requires controlling the net to ``not v``
-        and observing it: ``CC(not v) + CO``.  Branch faults use the CO of
-        the stem (a small approximation: per-branch CO would require
-        branch-level bookkeeping that the netlist model does not carry).
+        and observing it: ``CC(not v) + CO``.  Branch faults must be
+        observed through their own consuming gate, so they use the
+        per-branch observability rather than the stem's (which is the
+        cheapest branch and underestimates every other one).
         """
         controllability = self.cc1 if fault.stuck_at == 0 else self.cc0
-        return controllability[fault.net] + self.co[fault.net]
+        if fault.is_stem:
+            observability = self.co[fault.net]
+        else:
+            observability = self.branch_co.get(
+                (fault.gate_index, fault.pin), self.co[fault.net]
+            )
+        return controllability[fault.net] + observability
 
     def hardest_faults(self, faults: List[Fault], count: int = 5) -> List[Tuple[Fault, float]]:
         scored = [(fault, self.fault_score(fault)) for fault in faults]
@@ -105,12 +120,19 @@ def analyze(netlist: Netlist) -> ScoapReport:
         co[net] = 0.0
     # One reverse sweep suffices: gates are stored in topological order, so
     # visiting them backwards propagates observability from outputs to
-    # inputs along every path.
-    for gate in reversed(netlist.gates):
+    # inputs along every path -- and every consumer of a gate's output is
+    # downstream, so ``co[gate.output]`` is final when the gate is visited.
+    # The per-pin ``through`` value is exactly the branch observability:
+    # recording it per ``(gate_index, pin)`` is what lets ``fault_score``
+    # rank branch faults without the historical stem-CO underestimate.
+    branch_co: Dict[Tuple[int, int], float] = {}
+    for index in range(len(netlist.gates) - 1, -1, -1):
+        gate = netlist.gates[index]
         gate_co = co[gate.output]
-        if gate_co == INF:
-            continue
         for position, net in enumerate(gate.inputs):
+            if gate_co == INF:
+                branch_co[(index, position)] = INF
+                continue
             others = [n for k, n in enumerate(gate.inputs) if k != position]
             if gate.kind is GateKind.AND:
                 through = gate_co + sum(cc1[n] for n in others) + 1
@@ -118,12 +140,13 @@ def analyze(netlist: Netlist) -> ScoapReport:
                 through = gate_co + sum(cc0[n] for n in others) + 1
             elif gate.kind in (GateKind.NOT, GateKind.BUF):
                 through = gate_co + 1
-            elif gate.kind is GateKind.XOR:
+            else:  # XOR: sensitize siblings to either value, cheapest
                 through = gate_co + sum(
                     min(cc0[n], cc1[n]) for n in others
                 ) + 1
-            else:  # constants have no inputs
-                continue
+            branch_co[(index, position)] = through
             if through < co[net]:
                 co[net] = through
-    return ScoapReport(netlist_name=netlist.name, cc0=cc0, cc1=cc1, co=co)
+    return ScoapReport(
+        netlist_name=netlist.name, cc0=cc0, cc1=cc1, co=co, branch_co=branch_co
+    )

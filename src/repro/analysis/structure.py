@@ -1,0 +1,255 @@
+"""Structural verification of gate-level netlists.
+
+A :class:`~repro.netlist.netlist.Netlist` that type-checks at
+construction time can still be *structurally* defective as a testability
+subject: dead logic that no campaign can ever observe, primary inputs the
+function never reads, cones pinned to constants, outputs that cannot
+change.  Each such defect maps to provably-untestable stuck-at faults
+(the theorem half lives in :mod:`repro.analysis.untestable`); this module
+is the diagnostic half -- a pure structural pass that names the defects
+with stable codes so reports stay machine-checkable across versions.
+
+Diagnostics carry a severity:
+
+* ``error``   -- the netlist is not a meaningful test subject at all
+  (no observed outputs, undriven gate inputs).  ``repro lint`` exits
+  non-zero on these.
+* ``warning`` -- testability defects: dead nets, unobservable cones,
+  unused primary inputs, constant outputs.  Real synthesized blocks
+  (e.g. PLA realizations that dropped a don't-care input) legitimately
+  carry these.
+* ``info``    -- structural observations (constant interior cones).
+
+Observability here is *structural* (path existence, ignoring logic
+values); the sound value-aware refinement -- a side input pinned to a
+controlling constant blocks the path -- belongs to the untestability
+prover, which this module deliberately does not duplicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..netlist.netlist import GateKind, Netlist
+
+__all__ = [
+    "SEVERITIES",
+    "Diagnostic",
+    "StructureReport",
+    "verify",
+]
+
+#: diagnostic severities, most severe first.
+SEVERITIES: Tuple[str, ...] = ("error", "warning", "info")
+
+# Stable diagnostic codes.  SV0xx are errors, SV1xx warnings, SV2xx info;
+# codes are append-only across versions so ledgers stay comparable.
+SV_NO_OUTPUTS = "SV001"
+SV_DANGLING_NET = "SV002"
+SV_UNKNOWN_OBSERVED = "SV003"
+SV_UNUSED_INPUT = "SV101"
+SV_DEAD_NET = "SV102"
+SV_UNOBSERVABLE = "SV103"
+SV_CONSTANT_OUTPUT = "SV104"
+SV_CONSTANT_CONE = "SV201"
+
+_SEVERITY_OF: Dict[str, str] = {
+    SV_NO_OUTPUTS: "error",
+    SV_DANGLING_NET: "error",
+    SV_UNKNOWN_OBSERVED: "error",
+    SV_UNUSED_INPUT: "warning",
+    SV_DEAD_NET: "warning",
+    SV_UNOBSERVABLE: "warning",
+    SV_CONSTANT_OUTPUT: "warning",
+    SV_CONSTANT_CONE: "info",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structural finding, with a stable code and severity."""
+
+    code: str
+    severity: str
+    net: Optional[str]
+    message: str
+
+    def to_dict(self) -> Dict[str, Optional[str]]:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "net": self.net,
+            "message": self.message,
+        }
+
+    def __str__(self) -> str:
+        location = f" [{self.net}]" if self.net is not None else ""
+        return f"{self.code} {self.severity}{location}: {self.message}"
+
+
+@dataclass(frozen=True)
+class StructureReport:
+    """All diagnostics of one :func:`verify` pass, in deterministic order."""
+
+    netlist_name: str
+    observed: Tuple[str, ...]
+    diagnostics: Tuple[Diagnostic, ...]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == "error" for d in self.diagnostics)
+
+    def counts(self) -> Dict[str, int]:
+        """Diagnostic tally per severity (always all three keys)."""
+        tally = {severity: 0 for severity in SEVERITIES}
+        for diagnostic in self.diagnostics:
+            tally[diagnostic.severity] += 1
+        return tally
+
+    def by_code(self) -> Dict[str, int]:
+        """Diagnostic tally per stable code (sorted keys)."""
+        tally: Dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            tally[diagnostic.code] = tally.get(diagnostic.code, 0) + 1
+        return dict(sorted(tally.items()))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "netlist": self.netlist_name,
+            "observed": list(self.observed),
+            "counts": self.counts(),
+            "by_code": self.by_code(),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+def _diag(code: str, net: Optional[str], message: str) -> Diagnostic:
+    return Diagnostic(
+        code=code, severity=_SEVERITY_OF[code], net=net, message=message
+    )
+
+
+def verify(
+    netlist: Netlist, observed: Optional[Iterable[str]] = None
+) -> StructureReport:
+    """Structural verification pass over one combinational netlist.
+
+    ``observed`` overrides the observation points (default: the netlist's
+    marked outputs, which is exactly what every BIST session in
+    :mod:`repro.bist.architectures` compacts).  Diagnostics are emitted in
+    a deterministic order -- fixed check order, nets in netlist order --
+    so reports are ledger-stable.
+    """
+    observed_nets: Tuple[str, ...] = (
+        tuple(observed) if observed is not None else netlist.outputs
+    )
+    gates = netlist.gates
+    inputs = netlist.inputs
+    known: Set[str] = set(inputs)
+    known.update(gate.output for gate in gates)
+
+    diagnostics: List[Diagnostic] = []
+
+    # SV001: nothing is observed -- every fault is trivially untestable.
+    if not observed_nets:
+        diagnostics.append(
+            _diag(SV_NO_OUTPUTS, None, "netlist observes no output nets")
+        )
+
+    # SV003: an observation point that is not a net of this netlist.
+    for net in observed_nets:
+        if net not in known:
+            diagnostics.append(
+                _diag(
+                    SV_UNKNOWN_OBSERVED,
+                    net,
+                    "observed net is not a primary input or gate output",
+                )
+            )
+
+    # SV002: gate inputs no net drives.  The builder rejects these, but
+    # verify() is the check of record for netlists from other frontends.
+    seen_dangling: Set[str] = set()
+    for gate in gates:
+        for net in gate.inputs:
+            if net not in known and net not in seen_dangling:
+                seen_dangling.add(net)
+                diagnostics.append(
+                    _diag(
+                        SV_DANGLING_NET,
+                        net,
+                        "gate input is neither a primary input nor driven",
+                    )
+                )
+
+    consumers: Dict[str, int] = {}
+    for gate in gates:
+        for net in gate.inputs:
+            consumers[net] = consumers.get(net, 0) + 1
+    observed_set = set(observed_nets)
+
+    # SV101: primary inputs the logic never reads.
+    for net in inputs:
+        if not consumers.get(net) and net not in observed_set:
+            diagnostics.append(
+                _diag(SV_UNUSED_INPUT, net, "primary input is never used")
+            )
+
+    # Forward reachability from the primary inputs: a gate outside this
+    # set computes a constant function (its support holds no input).
+    reaches_input: Set[str] = set(inputs)
+    for gate in gates:
+        if any(net in reaches_input for net in gate.inputs):
+            reaches_input.add(gate.output)
+
+    # Backward structural observability from the observation points.
+    observable: Set[str] = set(observed_set)
+    for gate in reversed(gates):
+        if gate.output in observable:
+            observable.update(gate.inputs)
+
+    for gate in gates:
+        net = gate.output
+        if not consumers.get(net) and net not in observed_set:
+            # SV102: dead net -- driven but never consumed nor observed.
+            diagnostics.append(
+                _diag(SV_DEAD_NET, net, "gate output is never used")
+            )
+        elif net not in observable:
+            # SV103: consumed, but no structural path reaches any
+            # observation point (an unobservable interior cone).
+            diagnostics.append(
+                _diag(
+                    SV_UNOBSERVABLE,
+                    net,
+                    "no structural path to an observed output",
+                )
+            )
+        if net not in reaches_input:
+            if gate.kind in (GateKind.CONST0, GateKind.CONST1):
+                continue  # literal constants are intentional
+            if net in observed_set:
+                # SV104: an observed output pinned to a constant cone.
+                diagnostics.append(
+                    _diag(
+                        SV_CONSTANT_OUTPUT,
+                        net,
+                        "observed output is structurally constant",
+                    )
+                )
+            else:
+                # SV201: interior logic fed exclusively by constants.
+                diagnostics.append(
+                    _diag(
+                        SV_CONSTANT_CONE,
+                        net,
+                        "gate is fed by constants only",
+                    )
+                )
+
+    return StructureReport(
+        netlist_name=netlist.name,
+        observed=observed_nets,
+        diagnostics=tuple(diagnostics),
+    )

@@ -17,6 +17,9 @@ Subcommands
                                  over sharded persistent worker pools
 * ``submit``                  -- submit one machine to a running service
                                  and stream the result back
+* ``lint NAME|FILE``          -- static netlist verifier + untestability
+                                 prover over a machine or corpus slice
+                                 (JSON diagnostics)
 * ``example``                 -- the Figure 5-8 worked example
 """
 
@@ -152,6 +155,7 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
                     pool=pool,
                     engine=args.engine,
                     collapse=args.collapse,
+                    prescreen=args.prescreen,
                     timeout=args.timeout,
                     retries=args.retries,
                     checkpoint=args.checkpoint,
@@ -174,6 +178,25 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
                     f"{stats['universe']} faults -> {stats['scheduled']} "
                     f"scheduled ({100.0 * stats['reduction']:.1f}% fewer, "
                     f"{stats['classes']} classes); {note}"
+                )
+        if args.prescreen != "none":
+            from .faults.engine import CAMPAIGN_STATS
+
+            stats = CAMPAIGN_STATS.get("prescreen")
+            if stats:
+                note = (
+                    f"{stats['skipped']} skipped before simulation"
+                    if stats["mode"] == "static"
+                    else "all simulated, verdicts cross-checked"
+                )
+                tally = ", ".join(
+                    f"{count} {verdict}"
+                    for verdict, count in sorted(stats["by_verdict"].items())
+                ) or "none proved"
+                print(
+                    f"prescreen (pipeline campaign): mode {stats['mode']}, "
+                    f"{stats['proved']}/{stats['scheduled']} scheduled faults "
+                    f"proved untestable ({tally}); {note}"
                 )
         if args.workers > 1 or pool is not None:
             from .faults.engine import CAMPAIGN_STATS
@@ -309,6 +332,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cycles=args.cycles,
         node_limit=args.node_limit,
         collapse=args.collapse,
+        prescreen=args.prescreen,
         workers=args.workers,
         pool=args.pool,
         record_timings=not args.no_timings,
@@ -474,6 +498,110 @@ def _cmd_scoap(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_shard(text: str) -> Optional[tuple]:
+    """``I/N`` (1-based) -> 0-based ``(index, count)``; None when invalid."""
+    try:
+        index_text, count_text = text.split("/", 1)
+        shard_1based, shard_count = int(index_text), int(count_text)
+    except ValueError:
+        return None
+    if shard_count < 1 or not (1 <= shard_1based <= shard_count):
+        return None
+    return shard_1based - 1, shard_count
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .analysis.structure import verify
+    from .analysis.untestable import prove_controller
+    from .bist import build_conventional_bist, build_pipeline
+
+    if args.corpus:
+        from .suite import corpus
+
+        shard_index, shard_count = 0, 1
+        if args.shard:
+            parsed = _parse_shard(args.shard)
+            if parsed is None:
+                print(
+                    f"error: --shard wants I/N with 1 <= I <= N, got "
+                    f"{args.shard!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            shard_index, shard_count = parsed
+        members = corpus.members(
+            tuple(args.families) if args.families else None,
+            args.limit,
+            shard_index,
+            shard_count,
+        )
+        subjects = [(member.member_id, member.build()) for member in members]
+    else:
+        if not args.machine:
+            print(
+                "error: lint needs a machine (suite name or KISS2 file) "
+                "or --corpus",
+                file=sys.stderr,
+            )
+            return 2
+        subjects = [(args.machine, _load_machine(args.machine))]
+
+    observed_override = tuple(args.observe) if args.observe is not None else None
+    totals = {"error": 0, "warning": 0, "info": 0}
+    proved_total = 0
+    targets = []
+    for name, machine in subjects:
+        if args.architecture == "pipeline":
+            result = search_ostr(machine, node_limit=args.node_limit)
+            controller = build_pipeline(result.realization())
+        else:
+            controller = build_conventional_bist(machine)
+        blocks = {}
+        for block, netlist in sorted(controller.fault_blocks().items()):
+            if netlist is None:
+                continue
+            report = verify(netlist, observed_override)
+            blocks[block] = report.to_dict()
+            for severity, count in report.counts().items():
+                totals[severity] += count
+        verdicts = prove_controller(controller)
+        proved = [v.to_dict() for v in verdicts if v.is_untestable]
+        by_verdict: dict = {}
+        for verdict in verdicts:
+            if verdict.is_untestable:
+                by_verdict[verdict.verdict] = by_verdict.get(verdict.verdict, 0) + 1
+        proved_total += len(proved)
+        targets.append(
+            {
+                "name": name,
+                "architecture": args.architecture,
+                "blocks": blocks,
+                "untestable": {
+                    "universe": len(verdicts),
+                    "proved": len(proved),
+                    "by_verdict": dict(sorted(by_verdict.items())),
+                    "faults": proved,
+                },
+            }
+        )
+
+    failed = totals["error"] > 0 or (args.strict and totals["warning"] > 0)
+    payload = {
+        "targets": targets,
+        "summary": {
+            "targets": len(targets),
+            "counts": totals,
+            "proved_untestable": proved_total,
+            "strict": bool(args.strict),
+            "status": "fail" if failed else "ok",
+        },
+    }
+    print(_json.dumps(payload, indent=2, sort_keys=True))
+    return 1 if failed else 0
+
+
 def _cmd_example(args: argparse.Namespace) -> int:
     outcome = experiments.run_paper_example()
     machine = outcome["machine"]
@@ -589,6 +717,16 @@ def build_parser() -> argparse.ArgumentParser:
         "universe, opt-in)",
     )
     coverage.add_argument(
+        "--prescreen",
+        choices=("none", "static", "validate"),
+        default="none",
+        help="static untestability prescreen: 'static' skips faults the "
+        "prover shows can never be detected (identical report -- they "
+        "count as undetected either way -- fewer simulated faults); "
+        "'validate' simulates everything and hard-fails if a campaign "
+        "engine claims to detect a proved-untestable fault",
+    )
+    coverage.add_argument(
         "--timeout",
         type=float,
         default=None,
@@ -656,6 +794,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--node-limit", type=int, default=200_000)
     sweep.add_argument(
         "--collapse", choices=("none", "equiv", "dominance"), default="equiv"
+    )
+    sweep.add_argument(
+        "--prescreen", choices=("none", "static", "validate"), default="none",
+        help="static untestability prescreen per campaign: 'static' skips "
+        "proved-untestable faults, 'validate' cross-checks the engines "
+        "against the prover (the canonical ledger is identical either way)",
     )
     sweep.add_argument(
         "--workers", type=int, default=0,
@@ -767,6 +911,48 @@ def build_parser() -> argparse.ArgumentParser:
     scoap.add_argument("machine", help="suite name or KISS2 file path")
     scoap.add_argument("--top", type=int, default=5)
     scoap.set_defaults(handler=_cmd_scoap)
+
+    lint = commands.add_parser(
+        "lint",
+        help="static netlist verifier + untestability prover (JSON "
+        "diagnostics; exit 1 on error-severity findings)",
+    )
+    lint.add_argument(
+        "machine", nargs="?", default=None,
+        help="suite name or KISS2 file path (or use --corpus)",
+    )
+    lint.add_argument(
+        "--corpus", action="store_true",
+        help="lint a corpus slice instead of a single machine",
+    )
+    lint.add_argument(
+        "--families", nargs="*", default=None,
+        help="corpus families to lint (with --corpus; default: all)",
+    )
+    lint.add_argument(
+        "--limit", type=int, default=None,
+        help="cap members per family (with --corpus)",
+    )
+    lint.add_argument(
+        "--shard", default=None, metavar="I/N",
+        help="lint shard I of N (with --corpus; 1-based)",
+    )
+    lint.add_argument(
+        "--architecture", choices=("pipeline", "conventional"),
+        default="pipeline",
+    )
+    lint.add_argument("--node-limit", type=int, default=200_000)
+    lint.add_argument(
+        "--observe", nargs="*", default=None, metavar="NET",
+        help="override the observation points for the structural verifier "
+        "(applied to every block; unknown nets are error-severity SV003, "
+        "an empty list is SV001)",
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="treat warning-severity diagnostics as failures too",
+    )
+    lint.set_defaults(handler=_cmd_lint)
     return parser
 
 

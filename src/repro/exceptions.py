@@ -53,6 +53,21 @@ class PoolClosed(ReproError):
     """An operation was attempted on a closed :class:`CampaignPool`."""
 
 
+class PrescreenViolation(FaultError):
+    """A simulation engine detected a statically-proved-untestable fault.
+
+    Raised by ``prescreen="validate"`` campaigns: the static prover
+    (:mod:`repro.analysis.untestable`) claimed the fault can never be
+    detected, yet a simulation verdict says otherwise -- one of the two
+    is wrong, which is a library bug, never a property of the subject.
+    ``violations`` lists ``(block, fault_description, reason)`` triples.
+    """
+
+    def __init__(self, message: str, *, violations=()) -> None:
+        super().__init__(message)
+        self.violations = list(violations)
+
+
 class ResilienceError(ReproError):
     """A fault-simulation job failed after exhausting its retry budget.
 

@@ -274,6 +274,7 @@ def run_coverage(
     pool=None,
     engine: str = "compiled",
     collapse: str = "none",
+    prescreen: str = "none",
     timeout: Optional[float] = None,
     retries: Optional[int] = None,
     checkpoint: Optional[str] = None,
@@ -326,6 +327,7 @@ def run_coverage(
             pool=pool,
             engine=engine,
             collapse=collapse,
+            prescreen=prescreen,
             timeout=timeout,
             retries=retries,
             checkpoint=(

@@ -14,7 +14,12 @@ from .simulator import (
     pack_patterns,
     simulate_patterns,
 )
-from .coverage import CoverageReport, measure_coverage
+from .coverage import (
+    FAULT_UNTESTABLE,
+    PRESCREEN_MODES,
+    CoverageReport,
+    measure_coverage,
+)
 from .engine import DegradationEvent, LinearCompactor, run_campaign
 from .pool import CampaignPool
 from .chaos import ChaosEvent, ChaosPlan, random_plan
@@ -44,4 +49,6 @@ __all__ = [
     "CombinationalCoverage",
     "CoverageReport",
     "measure_coverage",
+    "FAULT_UNTESTABLE",
+    "PRESCREEN_MODES",
 ]

@@ -26,6 +26,18 @@ BlockFault = Tuple[str, Fault]
 FAULT_MISSED = 0
 FAULT_DETECTED = 1
 FAULT_DROPPED = 2
+#: resolved statically by the untestability prover
+#: (:mod:`repro.analysis.untestable`) under ``prescreen="static"`` --
+#: never simulated, always undetected, with the proof witness recorded in
+#: ``CAMPAIGN_STATS["prescreen"]``.
+FAULT_UNTESTABLE = 3
+
+#: accepted values of every ``prescreen=`` knob; ``"static"`` skips
+#: proved-untestable faults (report stays field-identical), ``"validate"``
+#: simulates everything and raises
+#: :exc:`~repro.exceptions.PrescreenViolation` if any engine detects a
+#: proved fault.
+PRESCREEN_MODES = ("none", "static", "validate")
 
 
 @dataclass
@@ -69,6 +81,7 @@ def measure_coverage(
     chunk_size: Optional[int] = None,
     pool=None,
     collapse: str = "none",
+    prescreen: str = "none",
     timeout: Optional[float] = None,
     retries: Optional[int] = None,
     checkpoint: Optional[str] = None,
@@ -96,6 +109,17 @@ def measure_coverage(
     drops gate-locally dominated classes; that *changes the reported
     universe* and is opt-in for test-generation style runs.
 
+    ``prescreen="static"`` skips faults the static prover
+    (:mod:`repro.analysis.untestable`) proves untestable -- they are
+    reported undetected with the proof witness in
+    ``CAMPAIGN_STATS["prescreen"]`` and the report stays field-for-field
+    identical to a full simulation.  ``prescreen="validate"`` simulates
+    everything anyway and raises
+    :exc:`~repro.exceptions.PrescreenViolation` if any engine detects a
+    proved-untestable fault (the prover's soundness as a continuously
+    checked theorem).  Both compose with ``collapse=``: an equivalence
+    class is untestable iff its representative is.
+
     Resilience knobs (see :func:`repro.faults.engine.run_campaign` and the
     engine module docstring): ``timeout`` arms the no-progress watchdog,
     ``retries`` bounds crash/hang re-dispatches, ``checkpoint`` names a
@@ -112,6 +136,7 @@ def measure_coverage(
         or dropping
         or pool is not None
         or collapse != "none"
+        or prescreen != "none"
         or timeout is not None
         or retries is not None
         or checkpoint is not None
@@ -129,6 +154,7 @@ def measure_coverage(
             chunk_size=chunk_size,
             pool=pool,
             collapse=collapse,
+            prescreen=prescreen,
             timeout=timeout,
             retries=retries,
             checkpoint=checkpoint,

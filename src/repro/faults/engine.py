@@ -93,6 +93,23 @@ representatives only (the universe genuinely changes), which is why it is
 opt-in.  ``CAMPAIGN_STATS["collapse"]`` records class counts and the
 achieved reduction.
 
+Static prescreening (the ``prescreen=`` path)
+---------------------------------------------
+
+``prescreen="static"`` consults the sound untestability prover
+(:mod:`repro.analysis.untestable`) before any scheduler runs: faults it
+proves untestable -- constant sites, constant-blocked propagation cones
+-- are resolved to ``FAULT_UNTESTABLE`` up front and ride the
+already-resolved-codes machinery (the same path as a checkpoint resume),
+so every rung skips them.  Proved faults are genuinely undetected, so the
+report stays field-for-field identical to a full simulation while the
+schedulers see strictly fewer faults.  ``prescreen="validate"`` inverts
+the bargain: everything is simulated, and a detected proved-untestable
+fault raises :exc:`~repro.exceptions.PrescreenViolation` -- the prover's
+soundness (and the engines' exactness) as a continuously-checked
+theorem.  ``CAMPAIGN_STATS["prescreen"]`` carries the verdict tallies,
+the skip count and the per-fault proof witnesses.
+
 Persistent pools (the ``pool=`` path)
 -------------------------------------
 
@@ -161,6 +178,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..bist.compaction import LinearCompactor, stream_errors, transpose_words
 from ..exceptions import (
     JobTimeout,
+    PrescreenViolation,
     ReproError,
     ResilienceError,
     WorkerCrash,
@@ -171,6 +189,8 @@ from .collapse import COLLAPSE_MODES, FaultMap
 from .coverage import (
     FAULT_DETECTED,
     FAULT_DROPPED,
+    FAULT_UNTESTABLE,
+    PRESCREEN_MODES,
     BlockFault,
     CoverageReport,
 )
@@ -252,13 +272,25 @@ def campaign_telemetry() -> Dict[str, object]:
     chunking parameters, not by which worker stole which chunk) and the
     worker count.  Scheduling noise -- per-worker steal tallies, retries,
     respawns -- stays in :data:`CAMPAIGN_STATS` only, because metrics
-    records must reproduce bit-identically from a manifest's seeds.
+    records must reproduce bit-identically from a manifest's seeds.  The
+    prescreen slice qualifies too: proofs are a pure function of the
+    netlist structure, so the proved/skipped tallies are
+    scheduler-independent (witness strings stay in the full stats).
     """
     collapse = CAMPAIGN_STATS.get("collapse")
+    prescreen = CAMPAIGN_STATS.get("prescreen")
+    prescreen_slice: Optional[Dict[str, object]] = None
+    if prescreen:
+        prescreen_slice = {
+            key: prescreen.get(key)
+            for key in ("mode", "universe", "scheduled", "proved", "skipped")
+        }
+        prescreen_slice["by_verdict"] = dict(prescreen.get("by_verdict") or {})
     return {
         "collapse": dict(collapse) if collapse else None,
         "dropped": CAMPAIGN_STATS.get("dropped"),
         "workers": CAMPAIGN_STATS.get("workers"),
+        "prescreen": prescreen_slice,
     }
 
 #: grace period (seconds) for the deterministic post-join error drain: a
@@ -791,6 +823,7 @@ def run_campaign(
     chunk_size: Optional[int] = None,
     pool=None,
     collapse: str = "none",
+    prescreen: str = "none",
     timeout: Optional[float] = None,
     retries: Optional[int] = None,
     backoff: Optional[float] = None,
@@ -817,6 +850,20 @@ def run_campaign(
     full universe, ``"dominance"`` reports over the kept representatives
     (see the module docstring).
 
+    ``prescreen="static"`` resolves statically-proved-untestable faults
+    (:mod:`repro.analysis.untestable`) to
+    :data:`~repro.faults.coverage.FAULT_UNTESTABLE` before any scheduler
+    runs -- they ride the same already-resolved-codes machinery as a
+    checkpoint resume, so every rung skips them; the report is
+    field-for-field identical to a full simulation because proved faults
+    are genuinely undetected.  ``prescreen="validate"`` simulates the
+    full schedule and raises
+    :exc:`~repro.exceptions.PrescreenViolation` if any engine detects a
+    proved fault.  Both compose with ``collapse=``: verdicts are proved
+    on the scheduled representatives, and equivalence classes share them
+    by construction.  Proof witnesses and the skip tally land in
+    ``CAMPAIGN_STATS["prescreen"]``.
+
     Resilience knobs (module docstring, "Resilience"): ``timeout`` arms
     the no-progress watchdog / cooperative deadline, ``retries`` and
     ``backoff`` bound the re-dispatch loop (``None`` defers to the pool's
@@ -830,6 +877,11 @@ def run_campaign(
         raise ReproError(
             f"unknown collapse mode {collapse!r}; expected one of "
             f"{COLLAPSE_MODES}"
+        )
+    if prescreen not in PRESCREEN_MODES:
+        raise ReproError(
+            f"unknown prescreen mode {prescreen!r}; expected one of "
+            f"{PRESCREEN_MODES}"
         )
     universe: List[BlockFault] = (
         list(controller.fault_universe()) if faults is None else list(faults)
@@ -847,6 +899,39 @@ def run_campaign(
     options = dict(session_options)
     resilience = _blank_resilience()
 
+    # -- static prescreen (sound untestability proofs) -----------------------
+    prescreen_verdicts = None
+    prescreen_stats: Optional[Dict[str, object]] = None
+    if prescreen != "none":
+        from ..analysis.untestable import prove_controller
+
+        # Verdicts are proved on the *scheduled* faults: with collapsing
+        # active these are the class representatives, and equivalence
+        # classes share verdicts by construction, so expanding the codes
+        # below spreads each proof over its whole class.
+        prescreen_verdicts = prove_controller(controller, faults=schedule)
+        by_verdict: Dict[str, int] = {}
+        for verdict in prescreen_verdicts:
+            if verdict.is_untestable:
+                by_verdict[verdict.verdict] = (
+                    by_verdict.get(verdict.verdict, 0) + 1
+                )
+        prescreen_stats = {
+            "mode": prescreen,
+            "universe": len(universe),
+            "scheduled": len(schedule),
+            "proved": sum(by_verdict.values()),
+            "skipped": 0,
+            "by_verdict": dict(sorted(by_verdict.items())),
+            "reasons": {
+                f"{block}:{fault.describe()}": verdict.reason
+                for (block, fault), verdict in zip(
+                    schedule, prescreen_verdicts
+                )
+                if verdict.is_untestable
+            },
+        }
+
     # -- checkpoint / shared progress state ----------------------------------
     ckpt: Optional[CampaignCheckpoint] = None
     codes_state: List[int] = [-1] * len(schedule)
@@ -863,6 +948,19 @@ def run_campaign(
             "path": checkpoint,
             "resumed": resilience["resumed"],
         }
+
+    if prescreen == "static" and prescreen_verdicts is not None:
+        # Proved faults ride the same already-resolved-codes machinery as
+        # a checkpoint resume: every scheduler rung skips codes >= 0, so
+        # they are never simulated.  Checkpointed codes take precedence
+        # (both are correct; the resumed code is the simulated truth).
+        skipped = 0
+        for index, verdict in enumerate(prescreen_verdicts):
+            if verdict.is_untestable and codes_state[index] < 0:
+                codes_state[index] = FAULT_UNTESTABLE
+                skipped += 1
+        assert prescreen_stats is not None
+        prescreen_stats["skipped"] = skipped
 
     def note_progress(offset: int, slab_codes: List[int]) -> None:
         codes_state[offset : offset + len(slab_codes)] = slab_codes
@@ -1010,6 +1108,30 @@ def run_campaign(
 
     CAMPAIGN_STATS["collapse"] = fault_map.stats() if fault_map else None
     CAMPAIGN_STATS["resilience"] = resilience
+    CAMPAIGN_STATS["prescreen"] = prescreen_stats
+    if prescreen == "validate" and prescreen_verdicts is not None:
+        assert codes is not None
+        violations = [
+            (block, fault.describe(), verdict.reason)
+            for (block, fault), verdict, code in zip(
+                schedule, prescreen_verdicts, codes
+            )
+            if verdict.is_untestable and code == FAULT_DETECTED
+        ]
+        if violations:
+            assert prescreen_stats is not None
+            CAMPAIGN_STATS["prescreen"] = dict(
+                prescreen_stats, violations=len(violations)
+            )
+            listed = "; ".join(
+                f"{block} {description} ({reason})"
+                for block, description, reason in violations[:5]
+            )
+            raise PrescreenViolation(
+                f"{len(violations)} statically-proved-untestable fault(s) "
+                f"were detected by simulation: {listed}",
+                violations=violations,
+            )
     if ckpt is not None:
         ckpt.clear()
     if fault_map is not None:

@@ -344,7 +344,11 @@ def _pool_worker(
                 chaos,
             )
             connection.send(("done", worker_index, reused))
-        except BaseException:
+        # The worker loop is the process's last frame: the only way to
+        # surface *any* failure (including KeyboardInterrupt unpickling
+        # poison) is the error channel, so swallowing here is the
+        # reporting mechanism, not a leak.
+        except BaseException:  # repro-lint: disable=RL006
             connection.send(("error", worker_index, traceback.format_exc()))
 
 

@@ -20,7 +20,7 @@ _PALETTE = (
 )
 
 
-def _quote(value) -> str:
+def _quote(value: object) -> str:
     return '"' + str(value).replace('"', '\\"') + '"'
 
 

@@ -15,7 +15,7 @@ substitution property).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..partitions import Partition
 from ..partitions import kernel
@@ -45,9 +45,9 @@ def equivalence_labels(machine: MealyMachine) -> Tuple[int, ...]:
         labels = refined_tuple
 
 
-def _rows_as_keys(out) -> Tuple[int, ...]:
+def _rows_as_keys(out: Sequence[Sequence[object]]) -> Tuple[int, ...]:
     """Initial partition: group states by identical output rows."""
-    mapping: Dict[Tuple[int, ...], int] = {}
+    mapping: Dict[Tuple[object, ...], int] = {}
     labels = []
     for row in out:
         key = tuple(row)
@@ -69,7 +69,7 @@ def is_reduced(machine: MealyMachine) -> bool:
     return kernel.num_blocks(equivalence_labels(machine)) == machine.n_states
 
 
-def minimized(machine: MealyMachine, name: str = None) -> MealyMachine:
+def minimized(machine: MealyMachine, name: Optional[str] = None) -> MealyMachine:
     """The reduced quotient machine ``M / epsilon``.
 
     Block representatives are the first state of each block, and the block

@@ -26,7 +26,7 @@ round-tripping and matches how state-of-the-art tools treat KISS symbols.
 from __future__ import annotations
 
 from itertools import product
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..exceptions import KissFormatError
 from .machine import MealyMachine
@@ -173,7 +173,7 @@ def loads(text: str, name: str = "kiss") -> MealyMachine:
     )
 
 
-def load(path, name: str = None) -> MealyMachine:
+def load(path: str, name: Optional[str] = None) -> MealyMachine:
     """Read a KISS2 file from ``path``."""
     with open(path, "r", encoding="utf-8") as handle:
         text = handle.read()
@@ -229,7 +229,7 @@ def dumps(machine: MealyMachine) -> str:
     return "\n".join(lines) + "\n"
 
 
-def _safe_state_names(states) -> List[str]:
+def _safe_state_names(states: Sequence[object]) -> List[str]:
     """Whitespace-free unique tokens for KISS state fields.
 
     Product-machine states are tuples whose ``str()`` contains spaces,
@@ -245,7 +245,7 @@ def _safe_state_names(states) -> List[str]:
     return names
 
 
-def dump(machine: MealyMachine, path) -> None:
+def dump(machine: MealyMachine, path: str) -> None:
     """Write a machine to ``path`` in KISS2 format."""
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(dumps(machine))

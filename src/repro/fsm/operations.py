@@ -8,7 +8,7 @@ partition it is well defined on outputs too.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..exceptions import FsmError
 from ..partitions import Partition
@@ -17,7 +17,7 @@ from .machine import MealyMachine, Symbol
 
 
 def quotient(
-    machine: MealyMachine, partition: Partition, name: str = None
+    machine: MealyMachine, partition: Partition, name: Optional[str] = None
 ) -> MealyMachine:
     """The quotient machine ``M / p`` for a substitution-property partition.
 
@@ -69,7 +69,7 @@ def quotient(
 
 
 def product(
-    machine_a: MealyMachine, machine_b: MealyMachine, name: str = None
+    machine_a: MealyMachine, machine_b: MealyMachine, name: Optional[str] = None
 ) -> MealyMachine:
     """Synchronous product over a shared input alphabet.
 
@@ -180,8 +180,16 @@ def find_isomorphism(
 
 
 def _match_remainder(
-    remainder_a, remainder_b, mapping, used, succ_a, out_a, succ_b, out_b, n_inputs
-):
+    remainder_a: Sequence[int],
+    remainder_b: Sequence[int],
+    mapping: Dict[int, int],
+    used: Set[int],
+    succ_a: Sequence[Sequence[int]],
+    out_a: Sequence[Sequence[Symbol]],
+    succ_b: Sequence[Sequence[int]],
+    out_b: Sequence[Sequence[Symbol]],
+    n_inputs: int,
+) -> Optional[Dict[int, int]]:
     """Backtracking completion of a partial isomorphism (small machines)."""
     if not remainder_a:
         return dict(mapping)

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import FsmError
 from .machine import MealyMachine, Symbol
@@ -69,8 +69,8 @@ def io_equivalent(
     start_a: Symbol,
     machine_b: MealyMachine,
     start_b: Symbol,
-    input_map=None,
-    output_map=None,
+    input_map: Optional[Dict[Symbol, Symbol]] = None,
+    output_map: Optional[Dict[Symbol, Symbol]] = None,
 ) -> bool:
     """Exact input/output equivalence of two initialized machines.
 

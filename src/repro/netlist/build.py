@@ -15,14 +15,14 @@ registers by name.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..exceptions import NetlistError
 from ..logic.synth import MultiOutputCover
 from .netlist import GateKind, Netlist
 
 
-def cover_to_netlist(cover: MultiOutputCover, name: str = None) -> Netlist:
+def cover_to_netlist(cover: MultiOutputCover, name: Optional[str] = None) -> Netlist:
     """Build the two-level AND-OR network of a multi-output cover."""
     netlist = Netlist(name if name is not None else cover.name)
     for input_name in cover.input_names:

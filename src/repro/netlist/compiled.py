@@ -55,10 +55,16 @@ faults, arbitrary masks -- is enforced by property tests
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import NetlistError
-from .netlist import Fault, GateKind, Netlist
+from .netlist import Fault, Gate, GateKind, Netlist
+
+#: ``lane_overrides()`` result: stem ``slot -> (or_mask, and_mask)`` plus
+#: branch ``gate_index -> [(pin, stuck_word, lane_mask), ...]`` tables.
+LaneOverrides = Tuple[
+    Dict[int, Tuple[int, int]], Dict[int, List[Tuple[int, int, int]]]
+]
 
 #: fault-hook sentinel: no stem override, no branch override.
 NO_FAULT = (-1, 0, -1, -1)
@@ -81,14 +87,16 @@ def _operand_expr(kind: GateKind, operands: Sequence[str], mask_expr: str) -> st
     return mask_expr  # CONST1
 
 
-def _make_refault(kinds: Tuple[GateKind, ...]):
+def _make_refault(
+    kinds: Tuple[GateKind, ...],
+) -> Callable[[int, int, int, int, tuple], int]:
     """Generic re-evaluation of one gate with a pinned input (branch fault).
 
     Runs at most once per evaluation (the single fault matches a single
     gate), so it trades speed for sharing one closure across all gates.
     """
 
-    def _refault(gate_index: int, pin, stuck: int, mask: int, ops: tuple) -> int:
+    def _refault(gate_index: int, pin: int, stuck: int, mask: int, ops: tuple) -> int:
         operands = list(ops)
         operands[pin] = stuck
         kind = kinds[gate_index]
@@ -114,7 +122,9 @@ def _make_refault(kinds: Tuple[GateKind, ...]):
     return _refault
 
 
-def _make_lane_refault(kinds: Tuple[GateKind, ...]):
+def _make_lane_refault(
+    kinds: Tuple[GateKind, ...],
+) -> Callable[[int, Sequence[Tuple[int, int, int]], int, tuple, int], int]:
     """Per-lane branch-fault merge for the multi-lane kernel.
 
     ``entries`` is the list of ``(pin, stuck_word, lane_mask)`` overrides
@@ -125,7 +135,11 @@ def _make_lane_refault(kinds: Tuple[GateKind, ...]):
     """
 
     def _lane_refault(
-        gate_index: int, entries, mask: int, ops: tuple, current: int
+        gate_index: int,
+        entries: Sequence[Tuple[int, int, int]],
+        mask: int,
+        ops: tuple,
+        current: int,
     ) -> int:
         kind = kinds[gate_index]
         for pin, stuck_word, lane_mask in entries:
@@ -208,7 +222,9 @@ class CompiledNetlist:
 
     # -- code generation -----------------------------------------------------
 
-    def _generate(self, inputs, gates) -> str:
+    def _generate(
+        self, inputs: Sequence[str], gates: Sequence[Gate]
+    ) -> str:
         n_inputs = len(inputs)
         all_slots = ", ".join(f"v{slot}" for slot in range(len(self.net_names)))
         return_all = f"    return [{all_slots}]" if self.net_names else "    return []"
@@ -303,7 +319,9 @@ class CompiledNetlist:
             return (self.index.get(fault.net, -1), stuck, -1, -1)
         return (-1, stuck, fault.gate_index, fault.pin)
 
-    def lane_overrides(self, assignments):
+    def lane_overrides(
+        self, assignments: Sequence[Tuple[Optional[Fault], int]]
+    ) -> LaneOverrides:
         """Per-lane fault assignments -> the ``lane_all`` override tables.
 
         ``assignments`` is a sequence of ``(fault, lane_mask)`` pairs; each
@@ -381,7 +399,7 @@ class CompiledNetlist:
         self,
         input_words: Sequence[int],
         mask: int,
-        overrides=None,
+        overrides: Optional[LaneOverrides] = None,
     ) -> List[int]:
         """Multi-lane evaluation: bit ``l`` of every net = value in lane ``l``.
 
@@ -399,7 +417,7 @@ class CompiledNetlist:
         self,
         input_words: Sequence[int],
         mask: int,
-        overrides=None,
+        overrides: Optional[LaneOverrides] = None,
     ) -> List[int]:
         """Marked-output lane words only, in output order."""
         if overrides is None:

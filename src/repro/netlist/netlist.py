@@ -20,9 +20,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..exceptions import NetlistError
+
+if TYPE_CHECKING:  # import cycle: compiled.py imports this module
+    from .compiled import CompiledNetlist
 
 
 class GateKind(Enum):
@@ -207,7 +210,7 @@ class Netlist:
 
     # -- compiled evaluation ---------------------------------------------------
 
-    def compile(self):
+    def compile(self) -> "CompiledNetlist":
         """The :class:`~repro.netlist.compiled.CompiledNetlist` of this netlist.
 
         Only frozen netlists can be compiled (mutation would invalidate the
@@ -224,11 +227,11 @@ class Netlist:
         return self._compiled
 
     @property
-    def compiled(self):
+    def compiled(self) -> "Optional[CompiledNetlist]":
         """Compiled evaluators when available (frozen netlists), else ``None``."""
         return self.compile() if self._frozen else None
 
-    def __getstate__(self):
+    def __getstate__(self) -> Dict[str, object]:
         # Generated functions are not picklable; workers recompile lazily.
         state = self.__dict__.copy()
         state["_compiled"] = None

@@ -163,7 +163,6 @@ def search_ostr(
         raise SearchError("node_limit must be positive")
 
     succ = machine.succ_table
-    n = machine.n_states
     states = machine.states
     epsilon = equivalence_labels(machine)
     basis = m_basis_labels(succ)

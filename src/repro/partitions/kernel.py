@@ -323,7 +323,9 @@ def masks_to_labels(masks: Masks, n: int) -> Labels:
     return tuple(out)
 
 
-_LOWBIT_KEY = (lambda mask: mask & -mask)
+def _lowbit_key(mask: int) -> int:
+    """Sort key: a block mask's lowest set bit (canonical block order)."""
+    return mask & -mask
 
 
 class BitsetLattice:
@@ -430,7 +432,7 @@ class BitsetLattice:
             low = rest & -rest
             out.append(low)
             rest ^= low
-        out.sort(key=_LOWBIT_KEY)
+        out.sort(key=_lowbit_key)
         return tuple(out)
 
     def sparse_owner(self, sparse: Masks) -> List[int]:
@@ -510,7 +512,7 @@ class BitsetLattice:
             union |= acc
         out = [mask for mask in base if not mask & union]
         out += merged
-        out.sort(key=_LOWBIT_KEY)
+        out.sort(key=_lowbit_key)
         return tuple(out)
 
     # -- lattice operations -------------------------------------------------
@@ -531,7 +533,7 @@ class BitsetLattice:
                     rest ^= block
             else:
                 out.append(am)
-        out.sort(key=_LOWBIT_KEY)
+        out.sort(key=_lowbit_key)
         return tuple(out)
 
     def join_constraints(
@@ -716,7 +718,7 @@ class BitsetKernel(BitsetLattice):
                         rest ^= low
                     if pm:
                         blocks.append(pm)
-                blocks.sort(key=_LOWBIT_KEY)
+                blocks.sort(key=_lowbit_key)
                 part = tuple(blocks)
                 result = part if result is None else self.meet(result, part)
         self._big_m_cache[masks] = result

@@ -464,7 +464,10 @@ class JobEngine:
             error = None
             try:
                 record = sweep_member(job.member, job.config, pool)
-            except BaseException:
+            # A failed job must transition to FAILED with its traceback
+            # attached, never take the shard's executor thread down --
+            # capturing everything here *is* the error path.
+            except BaseException:  # repro-lint: disable=RL006
                 error = traceback.format_exc()
             telemetry = self._capture_telemetry()
             with self._cond:

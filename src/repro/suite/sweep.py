@@ -13,10 +13,11 @@ pattern, with no hand-edited numbers anywhere:
     one JSON record per machine: corpus identity, synthesis result,
     coverage, collapse reduction, and (optionally) wall-clock timings.
     Every record has a *canonical form* -- the record minus the ``wall``
-    key, serialised with sorted keys -- and the manifest pins the SHA-256
+    and ``telemetry`` keys (run configuration, not subject facts),
+    serialised with sorted keys -- and the manifest pins the SHA-256
     over all canonical lines.  Re-running a sweep from its manifest's
     seeds reproduces the canonical content bit-identically; with timings
-    disabled the file itself is byte-identical.
+    disabled and matching engine knobs the file itself is byte-identical.
 ``summary.json``
     aggregates over the run (coverage distribution, exact/inexact search
     counts, collapse reduction, failures).
@@ -71,6 +72,7 @@ class SweepConfig:
     node_limit: Optional[int] = 200_000
     basis_order: str = "sorted"
     collapse: str = "equiv"
+    prescreen: str = "none"
     workers: int = 0
     pool: int = 0
     record_timings: bool = True
@@ -80,6 +82,13 @@ class SweepConfig:
             raise ReproError(
                 f"unknown architecture {self.architecture!r}; "
                 f"choose from {_ARCHITECTURES}"
+            )
+        from ..faults.coverage import PRESCREEN_MODES
+
+        if self.prescreen not in PRESCREEN_MODES:
+            raise ReproError(
+                f"unknown prescreen mode {self.prescreen!r}; "
+                f"choose from {PRESCREEN_MODES}"
             )
         if self.limit is not None and self.limit < 0:
             raise ReproError(f"limit must be >= 0, got {self.limit}")
@@ -126,8 +135,21 @@ class SweepResult:
 
 
 def canonical_record(record: Mapping) -> str:
-    """A record's canonical line: ``wall`` stripped, keys sorted, compact."""
-    clean = {key: value for key, value in record.items() if key != "wall"}
+    """A record's canonical line: keys sorted, compact, run-specific
+    fields stripped.
+
+    ``wall`` (timings) and ``telemetry`` (collapse/prescreen campaign
+    stats) describe *how* a record was computed, not *what* was measured
+    -- the same member swept with ``prescreen="static"`` and
+    ``prescreen="validate"`` must hash identically, like re-runs with
+    different worker counts do.  The ``static`` analysis block, by
+    contrast, is a pure function of the controller and stays canonical.
+    """
+    clean = {
+        key: value
+        for key, value in record.items()
+        if key not in ("wall", "telemetry")
+    }
     return json.dumps(clean, sort_keys=True, separators=(",", ":"))
 
 
@@ -147,6 +169,43 @@ def _file_sha256(path: str) -> str:
 def _corpus_ledger_digest(member_records: Sequence[Mapping]) -> str:
     lines = [f"{record['id']} {record['sha256']}" for record in member_records]
     return hashlib.sha256(("\n".join(lines) + "\n").encode("utf-8")).hexdigest()
+
+
+def _static_block(controller) -> Dict[str, object]:
+    """Canonical static-analysis block of one controller's metrics record.
+
+    Pure function of the controller's netlist structure -- verifier
+    diagnostic tallies per block plus the untestability-prover verdict
+    tally over the full fault universe -- so it belongs in the canonical
+    ledger and reproduces bit-identically from a manifest's seeds.
+    """
+    from ..analysis.structure import verify
+    from ..analysis.untestable import prove_controller
+
+    blocks: Dict[str, object] = {}
+    for block, netlist in sorted(
+        (getattr(controller, "fault_blocks", dict)() or {}).items()
+    ):
+        if netlist is None:
+            continue
+        report = verify(netlist)
+        blocks[block] = {
+            "counts": report.counts(),
+            "by_code": report.by_code(),
+        }
+    verdicts = prove_controller(controller)
+    by_verdict: Dict[str, int] = {}
+    for verdict in verdicts:
+        if verdict.is_untestable:
+            by_verdict[verdict.verdict] = by_verdict.get(verdict.verdict, 0) + 1
+    return {
+        "structure": blocks,
+        "untestable": {
+            "universe": len(verdicts),
+            "proved": sum(by_verdict.values()),
+            "by_verdict": dict(sorted(by_verdict.items())),
+        },
+    }
 
 
 def sweep_member(member, config: SweepConfig, pool=None) -> Dict[str, object]:
@@ -213,6 +272,7 @@ def sweep_member(member, config: SweepConfig, pool=None) -> Dict[str, object]:
                 dropping=True,
                 pool=pool,
                 collapse=config.collapse,
+                prescreen=config.prescreen,
             )
             wall["coverage_s"] = round(time.perf_counter() - start, 4)
             record["coverage"] = {
@@ -225,10 +285,18 @@ def sweep_member(member, config: SweepConfig, pool=None) -> Dict[str, object]:
                     for block, counts in sorted(report.by_block.items())
                 },
             }
-            # Only the collapse slice is scheduler-independent; worker
-            # counts / drop tallies vary with the wall-clock knobs and
-            # must stay out of the canonical ledger.
-            record["telemetry"] = {"collapse": campaign_telemetry()["collapse"]}
+            # The collapse/prescreen telemetry slices are deterministic
+            # per config but config-dependent, so canonical_record strips
+            # them (like wall): the ledger must not change when a sweep
+            # merely *schedules* differently.  Worker counts / drop
+            # tallies vary with wall-clock knobs and are excluded by
+            # campaign_telemetry() itself.
+            telemetry = campaign_telemetry()
+            record["telemetry"] = {
+                "collapse": telemetry["collapse"],
+                "prescreen": telemetry["prescreen"],
+            }
+            record["static"] = _static_block(controller)
         record["status"] = "ok"
     except ReproError as error:
         record["status"] = "error"
@@ -417,7 +485,10 @@ def run_sweep(
         "summary_path": SUMMARY_NAME,
     }
     if config.record_timings:
-        manifest["created_unix"] = round(time.time(), 2)
+        # Deliberate wall-clock: the manifest's creation stamp is run
+        # provenance, guarded by record_timings and outside every ledger
+        # digest -- reproductions compare ledgers, not manifests.
+        manifest["created_unix"] = round(time.time(), 2)  # repro-lint: disable=RL003
     with open(os.path.join(out_dir, MANIFEST_NAME), "w", encoding="utf-8") as handle:
         json.dump(manifest, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -199,3 +199,114 @@ class TestSweepShardParsing:
         assert code == 0
         assert "machines: 1" in out
         assert (tmp_path / "out" / "manifest.json").exists()
+
+
+class TestLint:
+    def test_json_shape_and_clean_exit(self, capsys):
+        import json
+
+        code, out, _ = run_cli(capsys, "lint", "shiftreg")
+        assert code == 0
+        payload = json.loads(out)
+        assert set(payload) == {"targets", "summary"}
+        summary = payload["summary"]
+        assert set(summary) == {
+            "targets", "counts", "proved_untestable", "strict", "status"
+        }
+        assert summary["status"] == "ok"
+        assert summary["targets"] == 1
+        assert set(summary["counts"]) == {"error", "warning", "info"}
+        target = payload["targets"][0]
+        assert target["name"] == "shiftreg"
+        assert target["architecture"] == "pipeline"
+        assert target["blocks"]  # per-block structure reports
+        untestable = target["untestable"]
+        assert untestable["proved"] >= 1  # shiftreg's C2 has unused inputs
+        for fault in untestable["faults"]:
+            assert set(fault) == {"fault", "verdict", "reason"}
+
+    def test_strict_escalates_warnings_to_failure(self, capsys):
+        import json
+
+        code, out, _ = run_cli(capsys, "lint", "shiftreg", "--strict")
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["summary"]["status"] == "fail"
+        assert payload["summary"]["counts"]["warning"] >= 1
+        assert payload["summary"]["counts"]["error"] == 0
+
+    def test_unknown_observed_net_is_an_error_exit(self, capsys):
+        import json
+
+        code, out, _ = run_cli(
+            capsys, "lint", "shiftreg", "--observe", "bogus_net"
+        )
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["summary"]["counts"]["error"] >= 1
+        codes = {
+            entry["code"]
+            for target in payload["targets"]
+            for report in target["blocks"].values()
+            for entry in report["diagnostics"]
+        }
+        assert "SV003" in codes
+
+    def test_corpus_slice_is_clean(self, capsys):
+        import json
+
+        code, out, _ = run_cli(
+            capsys, "lint", "--corpus", "--families", "mcnc", "--limit", "2"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["summary"]["targets"] >= 1
+        assert payload["summary"]["status"] == "ok"
+
+    def test_conventional_architecture(self, capsys):
+        import json
+
+        code, out, _ = run_cli(
+            capsys, "lint", "paper_example", "--architecture", "conventional"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        target = payload["targets"][0]
+        assert target["architecture"] == "conventional"
+
+    def test_machine_or_corpus_required(self, capsys):
+        code, _, err = run_cli(capsys, "lint")
+        assert code == 2
+        assert "needs a machine" in err
+
+
+class TestCoveragePrescreen:
+    def test_static_prescreen_prints_proof_summary(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "coverage", "shiftreg", "--prescreen", "static"
+        )
+        assert code == 0
+        assert "prescreen" in out
+        assert "proved untestable" in out
+        assert "skipped before simulation" in out
+
+    def test_validate_prescreen_passes(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "coverage", "paper_example", "--prescreen", "validate"
+        )
+        assert code == 0
+        assert "coverage" in out
+
+    def test_sweep_accepts_prescreen(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys,
+            "sweep",
+            "--families", "sequential",
+            "--limit", "1",
+            "--prescreen", "validate",
+            "--no-timings",
+            "--quiet",
+            "-o", str(tmp_path / "out"),
+        )
+        assert code == 0
+        assert (tmp_path / "out" / "metrics.jsonl").exists()

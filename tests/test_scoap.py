@@ -96,6 +96,51 @@ class TestObservability:
         assert report.co["unused"] == INF
 
 
+class TestBranchObservability:
+    def fanout_netlist(self):
+        """s fans out to a direct output AND an AND gate: the stem is free
+        to observe (CO=0) but the branch into the AND is not."""
+        netlist = Netlist("fan")
+        netlist.add_input("a")
+        netlist.add_input("b")
+        netlist.add_gate(GateKind.BUF, "s", ["a"])
+        netlist.add_gate(GateKind.AND, "t", ["s", "b"])
+        netlist.mark_output("s")
+        netlist.mark_output("t")
+        return netlist.freeze()
+
+    def test_branch_co_never_below_stem_co(self):
+        """Regression: the stem CO is the min over branches; using it for a
+        branch fault underestimates every other branch."""
+        for netlist in (self.fanout_netlist(), and_or_netlist()):
+            report = analyze(netlist)
+            for index, gate in enumerate(netlist.gates):
+                for pin, net in enumerate(gate.inputs):
+                    assert report.branch_co[(index, pin)] >= report.co[net]
+
+    def test_fanout_branch_costs_more_than_stem(self):
+        report = analyze(self.fanout_netlist())
+        assert report.co["s"] == 0  # directly observed
+        assert report.branch_co[(1, 0)] == 2  # b=1 (1) + 1 through the AND
+        stem = report.fault_score(Fault(net="s", stuck_at=0))
+        branch = report.fault_score(
+            Fault(net="s", stuck_at=0, gate_index=1, pin=0)
+        )
+        assert branch > stem
+
+    def test_unobservable_branch_is_inf(self):
+        netlist = Netlist("deadbranch")
+        netlist.add_input("a")
+        netlist.add_gate(GateKind.NOT, "dead", ["a"])
+        netlist.add_gate(GateKind.BUF, "y", ["a"])
+        netlist.mark_output("y")
+        frozen = netlist.freeze()
+        report = analyze(frozen)
+        # gate 0 is the NOT driving the dead net: its input pin can never
+        # be observed.
+        assert report.branch_co[(0, 0)] == INF
+
+
 class TestFaultScores:
     def test_score_formula(self):
         report = analyze(and_or_netlist())

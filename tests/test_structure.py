@@ -1,0 +1,221 @@
+"""Tests for the structural netlist verifier (repro.analysis.structure)."""
+
+from repro.analysis import Diagnostic, StructureReport, verify
+from repro.analysis.structure import (
+    SV_CONSTANT_CONE,
+    SV_CONSTANT_OUTPUT,
+    SV_DANGLING_NET,
+    SV_DEAD_NET,
+    SV_NO_OUTPUTS,
+    SV_UNKNOWN_OBSERVED,
+    SV_UNOBSERVABLE,
+    SV_UNUSED_INPUT,
+)
+from repro.netlist import GateKind, Netlist
+from repro.netlist.netlist import Gate
+
+
+def clean_netlist():
+    """y = a AND b -- no diagnostics of any severity."""
+    netlist = Netlist("clean")
+    netlist.add_input("a")
+    netlist.add_input("b")
+    netlist.add_gate(GateKind.AND, "y", ["a", "b"])
+    netlist.mark_output("y")
+    return netlist.freeze()
+
+
+def codes(report):
+    return [d.code for d in report.diagnostics]
+
+
+class TestCleanNetlist:
+    def test_no_diagnostics(self):
+        report = verify(clean_netlist())
+        assert report.diagnostics == ()
+        assert not report.has_errors
+        assert report.counts() == {"error": 0, "warning": 0, "info": 0}
+        assert report.by_code() == {}
+
+    def test_report_identity(self):
+        report = verify(clean_netlist())
+        assert report.netlist_name == "clean"
+        assert report.observed == ("y",)
+
+
+class TestErrors:
+    def test_sv001_no_observed_outputs(self):
+        netlist = Netlist("noout")
+        netlist.add_input("a")
+        netlist.add_gate(GateKind.BUF, "y", ["a"])
+        report = verify(netlist.freeze(), observed=())
+        assert SV_NO_OUTPUTS in codes(report)
+        assert report.has_errors
+
+    def test_sv002_dangling_gate_input(self):
+        # The builder rejects dangling nets, so forge one the way a
+        # foreign frontend might: append a gate behind add_gate's back.
+        netlist = Netlist("dangle")
+        netlist.add_input("a")
+        netlist.add_gate(GateKind.BUF, "y", ["a"])
+        netlist.mark_output("y")
+        netlist._gates.append(Gate(GateKind.AND, "z", ("ghost", "a")))
+        report = verify(netlist.freeze())
+        assert SV_DANGLING_NET in codes(report)
+        assert report.has_errors
+        dangling = [d for d in report.diagnostics if d.code == SV_DANGLING_NET]
+        assert [d.net for d in dangling] == ["ghost"]
+
+    def test_sv003_unknown_observed_net(self):
+        report = verify(clean_netlist(), observed=("y", "phantom"))
+        assert SV_UNKNOWN_OBSERVED in codes(report)
+        assert report.has_errors
+        bad = [d for d in report.diagnostics if d.code == SV_UNKNOWN_OBSERVED]
+        assert [d.net for d in bad] == ["phantom"]
+
+
+class TestWarnings:
+    def test_sv101_unused_input(self):
+        netlist = Netlist("unused")
+        netlist.add_input("a")
+        netlist.add_input("idle")
+        netlist.add_gate(GateKind.BUF, "y", ["a"])
+        netlist.mark_output("y")
+        report = verify(netlist.freeze())
+        assert codes(report) == [SV_UNUSED_INPUT]
+        assert report.diagnostics[0].net == "idle"
+        assert not report.has_errors
+
+    def test_observed_input_is_not_unused(self):
+        netlist = Netlist("obsin")
+        netlist.add_input("a")
+        netlist.add_input("idle")
+        netlist.add_gate(GateKind.BUF, "y", ["a"])
+        netlist.mark_output("y")
+        frozen = netlist.freeze()
+        report = verify(frozen, observed=("y", "idle"))
+        assert SV_UNUSED_INPUT not in codes(report)
+
+    def test_sv102_dead_net(self):
+        netlist = Netlist("dead")
+        netlist.add_input("a")
+        netlist.add_gate(GateKind.NOT, "unused_n", ["a"])
+        netlist.add_gate(GateKind.BUF, "y", ["a"])
+        netlist.mark_output("y")
+        report = verify(netlist.freeze())
+        assert SV_DEAD_NET in codes(report)
+        dead = [d for d in report.diagnostics if d.code == SV_DEAD_NET]
+        assert [d.net for d in dead] == ["unused_n"]
+
+    def test_sv103_unobservable_interior_cone(self):
+        # t is consumed by z, but z is never observed nor consumed: t has
+        # no structural path to the observation point y.  z itself is a
+        # dead net (driven, not consumed, not observed).
+        netlist = Netlist("cone")
+        netlist.add_input("a")
+        netlist.add_input("b")
+        netlist.add_gate(GateKind.AND, "t", ["a", "b"])
+        netlist.add_gate(GateKind.NOT, "z", ["t"])
+        netlist.add_gate(GateKind.BUF, "y", ["a"])
+        netlist.mark_output("y")
+        report = verify(netlist.freeze())
+        assert SV_UNOBSERVABLE in codes(report)
+        assert SV_DEAD_NET in codes(report)
+        unobservable = [
+            d.net for d in report.diagnostics if d.code == SV_UNOBSERVABLE
+        ]
+        assert unobservable == ["t"]
+
+    def test_sv104_constant_output(self):
+        netlist = Netlist("constout")
+        netlist.add_input("a")
+        netlist.add_gate(GateKind.CONST0, "zero", [])
+        netlist.add_gate(GateKind.NOT, "one", ["zero"])
+        netlist.add_gate(GateKind.BUF, "y", ["a"])
+        netlist.mark_output("one")
+        netlist.mark_output("y")
+        report = verify(netlist.freeze())
+        constant = [
+            d.net for d in report.diagnostics if d.code == SV_CONSTANT_OUTPUT
+        ]
+        assert constant == ["one"]
+
+    def test_const_literal_itself_not_flagged_as_cone(self):
+        netlist = Netlist("lit")
+        netlist.add_input("a")
+        netlist.add_gate(GateKind.CONST1, "one", [])
+        netlist.add_gate(GateKind.AND, "y", ["a", "one"])
+        netlist.mark_output("y")
+        report = verify(netlist.freeze())
+        assert SV_CONSTANT_CONE not in codes(report)
+        assert SV_CONSTANT_OUTPUT not in codes(report)
+
+
+class TestInfo:
+    def test_sv201_interior_constant_cone(self):
+        netlist = Netlist("innercone")
+        netlist.add_input("a")
+        netlist.add_gate(GateKind.CONST0, "zero", [])
+        netlist.add_gate(GateKind.NOT, "inv", ["zero"])
+        netlist.add_gate(GateKind.AND, "y", ["a", "inv"])
+        netlist.mark_output("y")
+        report = verify(netlist.freeze())
+        cone = [d for d in report.diagnostics if d.code == SV_CONSTANT_CONE]
+        assert [d.net for d in cone] == ["inv"]
+        assert cone[0].severity == "info"
+
+
+class TestReportShape:
+    def demo_report(self):
+        netlist = Netlist("demo")
+        netlist.add_input("a")
+        netlist.add_input("idle")
+        netlist.add_gate(GateKind.BUF, "y", ["a"])
+        netlist.mark_output("y")
+        return verify(netlist.freeze(), observed=("y", "phantom"))
+
+    def test_counts_always_has_all_severities(self):
+        report = self.demo_report()
+        assert set(report.counts()) == {"error", "warning", "info"}
+        assert report.counts()["error"] == 1
+        assert report.counts()["warning"] == 1
+
+    def test_by_code_sorted(self):
+        report = self.demo_report()
+        assert list(report.by_code()) == sorted(report.by_code())
+
+    def test_to_dict_round_trips_diagnostics(self):
+        report = self.demo_report()
+        payload = report.to_dict()
+        assert payload["netlist"] == "demo"
+        assert payload["observed"] == ["y", "phantom"]
+        assert payload["counts"] == report.counts()
+        assert payload["by_code"] == report.by_code()
+        assert len(payload["diagnostics"]) == len(report.diagnostics)
+        for entry in payload["diagnostics"]:
+            assert set(entry) == {"code", "severity", "net", "message"}
+
+    def test_diagnostic_str_and_dict(self):
+        diagnostic = Diagnostic(
+            code="SV101", severity="warning", net="x", message="unused"
+        )
+        assert str(diagnostic) == "SV101 warning [x]: unused"
+        assert diagnostic.to_dict()["net"] == "x"
+
+    def test_deterministic_order(self):
+        first = self.demo_report()
+        second = self.demo_report()
+        assert first == second
+        assert isinstance(first, StructureReport)
+
+
+class TestPipelineBlocks:
+    def test_paper_example_pipeline_blocks_are_clean_of_errors(self):
+        from repro.bist import build_pipeline
+        from repro.ostr import search_ostr
+        from repro.suite import paper_example
+
+        controller = build_pipeline(search_ostr(paper_example()).realization())
+        for netlist in controller.fault_blocks().values():
+            report = verify(netlist)
+            assert not report.has_errors

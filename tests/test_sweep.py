@@ -175,9 +175,9 @@ def test_canonical_ledger_is_scheduler_independent(scratch_corpus, tmp_path):
 
 
 def test_timed_records_share_the_untimed_canonical_ledger(scratch_corpus, tmp_path):
-    """``wall`` is the only non-canonical key: a timed run's canonical
-    ledger equals the untimed run's, and stripping ``wall`` from a timed
-    record yields the untimed record exactly."""
+    """``wall`` and ``telemetry`` are the only non-canonical keys: a
+    timed run's canonical ledger equals the untimed run's, and the
+    canonical form of a timed record equals the untimed record's."""
     untimed = run_sweep(
         SweepConfig(families=("mcnc",), limit=1, record_timings=False),
         str(tmp_path / "untimed"),
@@ -191,10 +191,12 @@ def test_timed_records_share_the_untimed_canonical_ledger(scratch_corpus, tmp_pa
         (tmp_path / "timed" / "metrics.jsonl").read_text().splitlines()[0]
     )
     assert "wall" in timed_record
-    untimed_line = (
+    untimed_record = json.loads(
         (tmp_path / "untimed" / "metrics.jsonl").read_text().splitlines()[0]
     )
-    assert canonical_record(timed_record) == untimed_line
+    assert "wall" not in untimed_record
+    assert "telemetry" in untimed_record  # written, just not canonical
+    assert canonical_record(timed_record) == canonical_record(untimed_record)
 
 
 def test_config_roundtrip_and_rejection():

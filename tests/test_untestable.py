@@ -1,0 +1,311 @@
+"""Tests for the static untestability prover (repro.analysis.untestable).
+
+The unit tests pin each verdict and reason format on a hand-built demo
+netlist; the hypothesis properties check the ternary lattice (gate
+evaluation is monotone and refines exhaustive boolean evaluation); and
+the randomized soundness suite exhaustively simulates every proved
+fault on small generated netlists -- a proved-untestable fault must
+leave every observed output bit identical on every input assignment.
+"""
+
+import itertools
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    UNKNOWN,
+    UNTESTABLE_CONSTANT,
+    UNTESTABLE_UNOBSERVABLE,
+    prove_controller,
+    prove_faults,
+    ternary_values,
+    untestable_faults,
+)
+from repro.analysis.untestable import _eval_gate
+from repro.faults.stuck_at import all_faults
+from repro.netlist import GateKind, Netlist
+from repro.netlist.netlist import Fault, Gate
+
+
+def blocked_demo():
+    """z0=CONST0; m = a AND z0 (always 0); y = m OR b.
+
+    Gate indices: 0 = z0, 1 = m, 2 = y.  The constant sibling ``z0``
+    blocks every path from ``a``, and pins ``m`` to 0.
+    """
+    netlist = Netlist("blocked")
+    netlist.add_input("a")
+    netlist.add_input("b")
+    netlist.add_gate(GateKind.CONST0, "z0", [])
+    netlist.add_gate(GateKind.AND, "m", ["a", "z0"])
+    netlist.add_gate(GateKind.OR, "y", ["m", "b"])
+    netlist.mark_output("y")
+    return netlist.freeze()
+
+
+def verdict_for(netlist, fault):
+    return prove_faults(netlist, faults=[fault])[0]
+
+
+class TestConstantVerdicts:
+    def test_stuck_at_matching_constant_is_untestable(self):
+        verdict = verdict_for(blocked_demo(), Fault("m", 0))
+        assert verdict.verdict == UNTESTABLE_CONSTANT
+        assert verdict.reason == "const[m]=0"
+        assert verdict.is_untestable
+
+    def test_const_gate_output_stuck_at_value(self):
+        verdict = verdict_for(blocked_demo(), Fault("z0", 0))
+        assert verdict.verdict == UNTESTABLE_CONSTANT
+        assert verdict.reason == "const[z0]=0"
+
+    def test_opposite_stuck_value_is_not_constant_proved(self):
+        # m is constant 0, but stuck-at-1 *is* excited; under the site-X
+        # valuation it is also observable through the OR, so UNKNOWN.
+        verdict = verdict_for(blocked_demo(), Fault("m", 1))
+        assert verdict.verdict == UNKNOWN
+        assert verdict.reason == ""
+
+
+class TestUnobservableVerdicts:
+    def test_stem_blocked_by_constant_sibling(self):
+        verdict = verdict_for(blocked_demo(), Fault("a", 1))
+        assert verdict.verdict == UNTESTABLE_UNOBSERVABLE
+        assert verdict.reason == "unobservable[a]"
+
+    def test_branch_blocked_by_constant_sibling(self):
+        verdict = verdict_for(
+            blocked_demo(), Fault("a", 1, gate_index=1, pin=0)
+        )
+        assert verdict.verdict == UNTESTABLE_UNOBSERVABLE
+        assert verdict.reason == "unobservable[gate1.pin0]"
+
+    def test_site_x_valuation_keeps_prover_sound(self):
+        # Injecting stuck-at-1 on z0 un-blocks the AND: the prover must
+        # NOT claim unobservability using the fault-free constant, so the
+        # verdict falls back to UNKNOWN.
+        verdict = verdict_for(blocked_demo(), Fault("z0", 1))
+        assert verdict.verdict == UNKNOWN
+
+
+class TestUnknownReasons:
+    def test_unknown_net(self):
+        verdict = verdict_for(blocked_demo(), Fault("phantom", 0))
+        assert verdict.verdict == UNKNOWN
+        assert verdict.reason == "unknown-net[phantom]"
+        assert not verdict.is_untestable
+
+    def test_unknown_branch_mismatched_pin(self):
+        # gate 2 pin 0 is attached to "m", not "a".
+        verdict = verdict_for(
+            blocked_demo(), Fault("a", 0, gate_index=2, pin=0)
+        )
+        assert verdict.verdict == UNKNOWN
+        assert verdict.reason == "unknown-branch[a]"
+
+    def test_to_dict_shape(self):
+        verdict = verdict_for(blocked_demo(), Fault("m", 0))
+        payload = verdict.to_dict()
+        assert set(payload) == {"fault", "verdict", "reason"}
+        assert payload["verdict"] == UNTESTABLE_CONSTANT
+
+
+class TestUniverseHelpers:
+    def test_prove_faults_is_index_aligned_with_universe(self):
+        netlist = blocked_demo()
+        universe = all_faults(netlist)
+        verdicts = prove_faults(netlist)
+        assert len(verdicts) == len(universe)
+        assert [v.fault for v in verdicts] == universe
+
+    def test_untestable_faults_subset(self):
+        netlist = blocked_demo()
+        proved = untestable_faults(netlist)
+        assert proved
+        for fault, verdict in proved.items():
+            assert verdict.fault == fault
+            assert verdict.is_untestable
+
+    def test_observed_override_changes_verdicts(self):
+        # Observing the blocked net itself makes its cone trivially open.
+        netlist = blocked_demo()
+        default = verdict_for(netlist, Fault("a", 1))
+        assert default.verdict == UNTESTABLE_UNOBSERVABLE
+        widened = prove_faults(
+            netlist, faults=[Fault("a", 1)], observed=("y", "a")
+        )[0]
+        assert widened.verdict == UNKNOWN
+
+
+class TestControllerProver:
+    def test_conventional_feedback_faults_are_pseudo_net_unknown(self):
+        from repro.bist import build_conventional_bist
+        from repro.suite import paper_example
+
+        controller = build_conventional_bist(paper_example())
+        verdicts = prove_controller(controller)
+        assert len(verdicts) == len(list(controller.fault_universe()))
+        pseudo = [v for v in verdicts if v.reason.startswith("pseudo-net[")]
+        assert pseudo
+        assert all(v.verdict == UNKNOWN for v in pseudo)
+
+    def test_pipeline_controller_has_real_verdicts(self):
+        from repro.bist import build_pipeline
+        from repro.ostr import search_ostr
+        from repro.suite import paper_example
+
+        controller = build_pipeline(
+            search_ostr(paper_example()).realization()
+        )
+        verdicts = prove_controller(controller)
+        assert len(verdicts) == len(list(controller.fault_universe()))
+        assert all(v.verdict in (
+            UNKNOWN, UNTESTABLE_CONSTANT, UNTESTABLE_UNOBSERVABLE
+        ) for v in verdicts)
+
+
+# -- hypothesis: the ternary lattice ------------------------------------------
+
+_VARIADIC = (GateKind.AND, GateKind.OR, GateKind.XOR)
+_UNARY = (GateKind.NOT, GateKind.BUF)
+
+
+@st.composite
+def gate_cases(draw):
+    kind = draw(st.sampled_from(_VARIADIC + _UNARY))
+    arity = 1 if kind in _UNARY else draw(st.integers(1, 4))
+    operands = draw(
+        st.lists(st.sampled_from("01X"), min_size=arity, max_size=arity)
+    )
+    gate = Gate(kind, "y", tuple(f"i{k}" for k in range(arity)))
+    return gate, operands
+
+
+def _bool_eval(kind, bits):
+    if kind is GateKind.AND:
+        return int(all(bits))
+    if kind is GateKind.OR:
+        return int(any(bits))
+    if kind is GateKind.XOR:
+        return sum(bits) % 2
+    if kind is GateKind.NOT:
+        return 1 - bits[0]
+    return bits[0]  # BUF
+
+
+def _resolutions(operands):
+    """Every concrete 0/1 assignment the ternary operand list abstracts."""
+    choices = [("0", "1") if v == "X" else (v,) for v in operands]
+    for combo in itertools.product(*choices):
+        yield [int(v) for v in combo]
+
+
+@given(gate_cases())
+@settings(max_examples=300, deadline=None)
+def test_eval_gate_refines_exhaustive_boolean_eval(case):
+    # Soundness of the abstraction: a definite ternary result must equal
+    # the boolean result of EVERY resolution of the X operands.
+    gate, operands = case
+    result = _eval_gate(gate, operands)
+    outcomes = {_bool_eval(gate.kind, bits) for bits in _resolutions(operands)}
+    if result == "X":
+        assert outcomes <= {0, 1}
+    else:
+        assert outcomes == {int(result)}
+
+
+@given(gate_cases(), st.data())
+@settings(max_examples=300, deadline=None)
+def test_eval_gate_is_monotone_in_the_lattice(case, data):
+    # Raising any subset of operands to X can only keep the result or
+    # raise it to X -- never flip 0 to 1 or vice versa.
+    gate, operands = case
+    raised_positions = data.draw(
+        st.lists(
+            st.integers(0, len(operands) - 1),
+            max_size=len(operands),
+            unique=True,
+        )
+    )
+    raised = list(operands)
+    for position in raised_positions:
+        raised[position] = "X"
+    before = _eval_gate(gate, operands)
+    after = _eval_gate(gate, raised)
+    assert after == before or after == "X"
+
+
+@given(st.booleans(), st.booleans())
+@settings(max_examples=20, deadline=None)
+def test_ternary_values_agree_with_concrete_evaluation(a, b):
+    netlist = blocked_demo()
+    forced = {"a": str(int(a)), "b": str(int(b))}
+    ternary = ternary_values(netlist, forced=forced)
+    concrete = netlist.evaluate({"a": int(a), "b": int(b)})
+    for net, value in ternary.items():
+        assert value in ("0", "1")
+        assert int(value) == concrete[net] & 1
+
+
+def test_ternary_values_default_baseline():
+    values = ternary_values(blocked_demo())
+    assert values == {"a": "X", "b": "X", "z0": "0", "m": "0", "y": "X"}
+
+
+# -- randomized exhaustive soundness ------------------------------------------
+
+
+def _random_netlist(rng, index):
+    """A small random netlist biased towards constants and blocking."""
+    netlist = Netlist(f"rand{index}")
+    n_inputs = rng.randint(1, 4)
+    nets = [netlist.add_input(f"i{k}") for k in range(n_inputs)]
+    kinds = [
+        GateKind.AND, GateKind.OR, GateKind.XOR, GateKind.NOT,
+        GateKind.BUF, GateKind.CONST0, GateKind.CONST1,
+    ]
+    for g in range(rng.randint(2, 8)):
+        kind = rng.choice(kinds)
+        if kind in (GateKind.CONST0, GateKind.CONST1):
+            chosen = []
+        elif kind in (GateKind.NOT, GateKind.BUF):
+            chosen = [rng.choice(nets)]
+        else:
+            chosen = [
+                rng.choice(nets)
+                for _ in range(rng.randint(1, min(3, len(nets))))
+            ]
+        nets.append(netlist.add_gate(kind, f"g{g}", chosen))
+    for net in rng.sample(nets, rng.randint(1, 2)):
+        netlist.mark_output(net)
+    return netlist.freeze()
+
+
+def test_proved_untestable_faults_never_flip_an_observed_output():
+    rng = random.Random(20260807)
+    proved_total = 0
+    for index in range(40):
+        netlist = _random_netlist(rng, index)
+        if not netlist.outputs:
+            continue
+        n = len(netlist.inputs)
+        verdicts = prove_faults(netlist)
+        for verdict in verdicts:
+            if not verdict.is_untestable:
+                continue
+            proved_total += 1
+            for bits in itertools.product((0, 1), repeat=n):
+                assignment = dict(zip(netlist.inputs, bits))
+                good = netlist.evaluate_outputs(assignment)
+                bad = netlist.evaluate_outputs(
+                    assignment, fault=verdict.fault
+                )
+                assert good == bad, (
+                    f"{netlist.name}: {verdict.fault.describe()} proved "
+                    f"{verdict.verdict} ({verdict.reason}) but distinguished "
+                    f"by input {assignment}"
+                )
+    # The generator is seeded: the corpus must actually exercise the prover.
+    assert proved_total >= 50
