@@ -57,6 +57,9 @@ python -m pytest tests/test_corpus_golden.py tests/test_sweep.py \
 echo "== campaign service (job engine, HTTP surface, chaos, sweep bit-identity) =="
 python -m pytest tests/test_service.py -q
 
+echo "== durable service (write-ahead journal, crash recovery, client resilience) =="
+python -m pytest tests/test_journal.py tests/test_service_chaos.py -q
+
 echo "== prescreen soundness (validate-mode mini-sweep: engines vs the untestability prover) =="
 python -m pytest tests/test_prescreen.py tests/test_untestable.py \
   tests/test_structure.py tests/test_repro_lint.py -q

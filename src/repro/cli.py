@@ -15,8 +15,11 @@ Subcommands
                                  ``--verify``, ``--reproduce``, ``--service``)
 * ``serve``                   -- the campaign service: an HTTP job queue
                                  over sharded persistent worker pools
+                                 (``--journal`` arms crash recovery)
 * ``submit``                  -- submit one machine to a running service
                                  and stream the result back
+* ``checkpoint-gc``           -- sweep a checkpoint directory of stale or
+                                 unresumable campaign snapshots
 * ``lint NAME|FILE``          -- static netlist verifier + untestability
                                  prover over a machine or corpus slice
                                  (JSON diagnostics)
@@ -365,6 +368,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pool_workers=args.pool_workers,
         max_queued=args.max_queued,
         verbose=not args.quiet,
+        journal_dir=args.journal,
+        fsync=args.fsync,
     )
     host, port = server.address
     print(
@@ -373,11 +378,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"queue limit {args.max_queued})",
         flush=True,
     )
+    if args.journal is not None:
+        recovery = server.engine.recovery
+        print(
+            f"journal: {args.journal} (fsync={args.fsync}); recovery: "
+            f"{recovery['replayed_records']} records replayed, "
+            f"{recovery['restored_done']} done / "
+            f"{recovery['restored_failed']} failed / "
+            f"{recovery['restored_cancelled']} cancelled restored, "
+            f"{recovery['requeued']} requeued"
+            + (", torn tail dropped" if recovery["torn_tail"] else "")
+            + (
+                f", {recovery['checkpoints_removed']} stale checkpoint(s) "
+                "removed"
+                if recovery["checkpoints_removed"]
+                else ""
+            ),
+            flush=True,
+        )
+    # SIGTERM (and a first ^C) drain gracefully: queued and running jobs
+    # finish -- and reach the journal -- before the process exits.
+    server.install_signal_handlers()
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("draining...", flush=True)
         server.close()
+    return 0
+
+
+def _cmd_checkpoint_gc(args: argparse.Namespace) -> int:
+    from .faults.checkpoint import CampaignCheckpoint
+
+    swept = CampaignCheckpoint.gc(args.directory, max_age=args.max_age)
+    print(
+        f"checkpoint gc: {len(swept['removed'])} removed, "
+        f"{len(swept['kept'])} kept in {args.directory}"
+    )
+    if args.verbose:
+        for name in swept["removed"]:
+            print(f"  removed {name}")
     return 0
 
 
@@ -852,8 +892,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-queued", type=int, default=64, metavar="N",
         help="admission control: refuse submissions past N queued jobs (429)",
     )
+    serve.add_argument(
+        "--journal", default=None, metavar="DIR",
+        help="write-ahead job journal directory: every submission and "
+        "result is journaled before it is visible, and a restart on the "
+        "same directory restores finished results and requeues "
+        "interrupted jobs",
+    )
+    serve.add_argument(
+        "--fsync", choices=("always", "interval", "never"), default="always",
+        help="journal fsync policy (default: always)",
+    )
     serve.add_argument("--quiet", action="store_true")
     serve.set_defaults(handler=_cmd_serve)
+
+    checkpoint_gc = commands.add_parser(
+        "checkpoint-gc",
+        help="sweep a checkpoint directory of stale/orphaned/unresumable "
+        "campaign snapshots",
+    )
+    checkpoint_gc.add_argument(
+        "directory", help="checkpoint directory to sweep"
+    )
+    checkpoint_gc.add_argument(
+        "--max-age", type=float, default=7 * 86400.0, metavar="SECONDS",
+        help="remove snapshots older than this (default: 7 days)",
+    )
+    checkpoint_gc.add_argument(
+        "--verbose", action="store_true", help="list removed files"
+    )
+    checkpoint_gc.set_defaults(handler=_cmd_checkpoint_gc)
 
     submit = commands.add_parser(
         "submit",

@@ -117,3 +117,31 @@ class AdmissionError(ReproError):
     draining for shutdown); the HTTP layer maps it to ``429 Too Many
     Requests`` so clients can back off and retry.
     """
+
+
+class JournalCorrupt(ReproError):
+    """A job journal failed its integrity check away from the torn tail.
+
+    A truncated *final* record is the expected signature of a torn write
+    (the process died mid-append) and replay tolerates it; a record that
+    fails its per-record SHA-256 (or does not parse) *before* the final
+    line means the journal bytes were damaged after they were durably
+    written -- silently replaying past it could resurrect wrong job
+    state, so the journal is quarantined (renamed aside) and this error
+    carries where and why.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str = "",
+        line_no: int = 0,
+        reason: str = "",
+        quarantined: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.line_no = line_no
+        self.reason = reason
+        self.quarantined = quarantined

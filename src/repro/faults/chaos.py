@@ -29,6 +29,31 @@ Supported event kinds
     the worker sleeps ``seconds`` before the chunk and then proceeds
     normally -- jitter that must *not* trip a well-chosen watchdog.
 
+Service-level event kinds (``target="service"``)
+------------------------------------------------
+
+The campaign service (:mod:`repro.service`) arms one
+:class:`ChaosState` with ``scope="service"`` in the *serving process*
+itself, hooked where its durability story must hold:
+
+``kill_server``
+    ``SIGKILL`` the serving process after it has journaled its
+    ``on_chunk``-th job result -- the honest ``kill -9`` mid-sweep that
+    the write-ahead journal plus client reconnect must survive.
+``torn_tail``
+    after a journal append, truncate the file's final bytes -- the
+    torn-write signature a crash mid-``write()`` leaves, which replay
+    must tolerate (drop the tail, keep everything before it).
+``http_stall``
+    sleep ``seconds`` before answering the ``on_chunk``-th HTTP request
+    -- a stalled/slow response that must hit the client's timeout and
+    retry path instead of hanging a sweep forever.
+
+For service events the generation gate reads
+``REPRO_CHAOS_GENERATION`` from the environment: a restarted server is
+generation 1+, so a non-``sticky`` ``kill_server`` fires only in the
+first boot and the recovery run converges.
+
 Convergence under retries
 -------------------------
 
@@ -52,6 +77,8 @@ from __future__ import annotations
 import json
 import os
 import pickle
+import signal
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional
@@ -61,10 +88,12 @@ from ..exceptions import ReproError
 __all__ = [
     "CHAOS_ENV",
     "CHAOS_EXIT_CODE",
+    "GENERATION_ENV",
     "ChaosEvent",
     "ChaosPlan",
     "ChaosState",
     "random_plan",
+    "service_generation",
 ]
 
 #: environment variable holding a JSON-encoded :class:`ChaosPlan`; worker
@@ -74,8 +103,23 @@ CHAOS_ENV = "REPRO_CHAOS"
 #: exit code of a chaos-injected hard crash (distinctive in diagnostics).
 CHAOS_EXIT_CODE = 66
 
-_KINDS = ("crash", "hang", "pipe_close", "poison_pickle", "slow")
-_TARGETS = ("pool", "engine", "any")
+_KINDS = (
+    "crash",
+    "hang",
+    "pipe_close",
+    "poison_pickle",
+    "slow",
+    "kill_server",
+    "torn_tail",
+    "http_stall",
+)
+_TARGETS = ("pool", "engine", "service", "any")
+
+#: environment variable carrying the serving process's spawn generation
+#: (0 = first boot, bumped by whoever restarts it); the same convergence
+#: gate worker respawns get from their parent, but delivered through the
+#: environment because a killed server's supervisor is outside Python.
+GENERATION_ENV = "REPRO_CHAOS_GENERATION"
 
 
 @dataclass(frozen=True)
@@ -187,14 +231,27 @@ def random_plan(
     return ChaosPlan(events=events)
 
 
-class ChaosState:
-    """Per-worker-process injection state.
+def service_generation() -> int:
+    """The serving process's spawn generation (:data:`GENERATION_ENV`)."""
+    try:
+        return int(os.environ.get(GENERATION_ENV, "0") or 0)
+    except ValueError:
+        return 0
 
-    Built once at worker startup from the explicit plan (shipped through
-    the spawn args) or the environment.  ``scope`` names the scheduler the
-    worker belongs to (``"pool"`` or ``"engine"``); ``generation`` is the
-    worker's spawn generation for the convergence gate described in the
-    module docstring.
+
+class ChaosState:
+    """Per-process injection state.
+
+    Built once at worker (or server) startup from the explicit plan
+    (shipped through the spawn args) or the environment.  ``scope`` names
+    the runtime the state arms in (``"pool"``, ``"engine"`` or
+    ``"service"``); ``generation`` is the spawn generation for the
+    convergence gate described in the module docstring.
+
+    Worker processes consult their state single-threaded; the service
+    scope is consulted concurrently (HTTP handler threads + shard
+    executor threads), so event take-out and the hook counters are
+    guarded by a lock.
     """
 
     def __init__(
@@ -214,19 +271,23 @@ class ChaosState:
                 and event.worker in (None, worker_index)
                 and (event.sticky or generation == 0)
             ]
+        self._lock = threading.Lock()
         self._chunks = 0
         self._unpickles = 0
+        self._responses = 0
+        self._results = 0
 
     @property
     def armed(self) -> bool:
         return bool(self._events)
 
     def _take(self, kinds, counter: int) -> Optional[ChaosEvent]:
-        for event in self._events:
-            if event.kind in kinds and counter >= event.on_chunk:
-                if not event.sticky:
-                    self._events.remove(event)
-                return event
+        with self._lock:
+            for event in self._events:
+                if event.kind in kinds and counter >= event.on_chunk:
+                    if not event.sticky:
+                        self._events.remove(event)
+                    return event
         return None
 
     def before_chunk(self, connection=None) -> None:
@@ -260,3 +321,54 @@ class ChaosState:
             raise pickle.UnpicklingError(
                 "chaos: poisoned subject payload (injected)"
             )
+
+    # -- service-scope hooks --------------------------------------------------
+
+    def before_http_response(self) -> None:
+        """Hook: the service is about to handle one HTTP request.
+
+        ``on_chunk`` counts requests; ``http_stall`` sleeps ``seconds``
+        before the handler proceeds, simulating a stalled/slow response
+        the client's timeout + retry machinery must absorb.
+        """
+        with self._lock:
+            counter = self._responses
+            self._responses += 1
+        if not self._events:
+            return
+        event = self._take(("http_stall",), counter)
+        if event is not None:
+            time.sleep(event.seconds)
+
+    def after_journal_append(self, journal) -> None:
+        """Hook: the service journal just appended a record.
+
+        ``torn_tail`` chops the final bytes off the journal file -- the
+        exact wreckage a crash mid-``write()`` leaves behind, which the
+        next boot's replay must tolerate by dropping the torn record.
+        """
+        if not self._events:
+            return
+        with self._lock:
+            counter = journal.stats.get("appends", 0) - 1
+        event = self._take(("torn_tail",), max(counter, 0))
+        if event is not None:
+            journal.tear_tail()
+
+    def after_job_result(self) -> None:
+        """Hook: the service just journaled one job's terminal result.
+
+        ``kill_server`` delivers ``SIGKILL`` to the serving process
+        itself after ``on_chunk`` results -- the honest ``kill -9``
+        mid-sweep.  The journal already holds everything up to and
+        including this result, so a restart against the same journal
+        directory must lose nothing.
+        """
+        with self._lock:
+            counter = self._results
+            self._results += 1
+        if not self._events:
+            return
+        event = self._take(("kill_server",), counter)
+        if event is not None:
+            os.kill(os.getpid(), signal.SIGKILL)

@@ -143,3 +143,68 @@ class CampaignCheckpoint:
             os.remove(self.path)
         except OSError:
             pass
+
+    # -- housekeeping ---------------------------------------------------------
+
+    @staticmethod
+    def gc(directory: str, max_age: float = 7 * 86400.0) -> dict:
+        """Sweep a checkpoint directory of dead snapshots.
+
+        Removes files that can never be resumed from: snapshots older
+        than ``max_age`` seconds (their campaign is long gone), orphaned
+        ``.tmp.<pid>`` files a crash left mid-:meth:`save`, and
+        pre-version / pre-SHA-256 snapshots that no current campaign key
+        can match (unreadable JSON, wrong ``version``, or a ``key`` that
+        is not a 64-hex SHA-256 digest).  Recent, well-formed snapshots
+        are exactly the resumable ones and are kept.  Returns
+        ``{"removed": [names], "kept": [names]}``, each sorted.
+        """
+        if max_age < 0:
+            raise ReproError(f"gc max_age must be >= 0, got {max_age}")
+        removed: List[str] = []
+        kept: List[str] = []
+        try:
+            names = sorted(os.listdir(directory))
+        except OSError:
+            return {"removed": removed, "kept": kept}
+        # Deliberate wall-clock: age-based housekeeping is about real
+        # elapsed time, not campaign determinism.
+        now = time.time()
+        for name in names:
+            path = os.path.join(directory, name)
+            if not os.path.isfile(path):
+                continue
+            reason = None
+            if ".tmp." in name:
+                reason = "orphaned temp file"
+            else:
+                try:
+                    age = now - os.path.getmtime(path)
+                except OSError:
+                    continue
+                if age > max_age:
+                    reason = "stale"
+                else:
+                    try:
+                        with open(path, "r", encoding="utf-8") as handle:
+                            data = json.load(handle)
+                    except (OSError, ValueError):
+                        data = None
+                    key = data.get("key") if isinstance(data, dict) else None
+                    if (
+                        not isinstance(data, dict)
+                        or data.get("version") != _VERSION
+                        or not isinstance(key, str)
+                        or len(key) != 64
+                        or any(c not in "0123456789abcdef" for c in key)
+                    ):
+                        reason = "unresumable (pre-version or pre-sha256)"
+            if reason is None:
+                kept.append(name)
+                continue
+            try:
+                os.remove(path)
+                removed.append(name)
+            except OSError:
+                kept.append(name)
+        return {"removed": removed, "kept": kept}

@@ -23,11 +23,19 @@ polls proceed concurrently while the engine's shard threads run the
 campaigns.  All request/response bodies are JSON; errors come back as
 ``{"error": ...}`` with a meaningful status code (400 malformed payload,
 404 unknown job/route, 429 admission control, 503 draining).
+
+With ``journal_dir=`` the engine journals every job (see
+:mod:`repro.service.journal`); ``/metrics`` then carries a ``journal``
+block (appends, fsyncs, bytes, and the boot's ``recovery`` telemetry:
+replayed records, restored results, requeued jobs, torn tail).
+:meth:`CampaignServer.install_signal_handlers` gives ``SIGTERM``/
+``SIGINT`` the same graceful-drain semantics as ``POST /shutdown``.
 """
 
 from __future__ import annotations
 
 import json
+import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
@@ -57,6 +65,10 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:  # type: ignore[attr-defined]
             super().log_message(format, *args)
 
+    def _chaos_hook(self) -> None:
+        """Service-scope chaos: stall this response if the plan says so."""
+        self.engine.chaos_state.before_http_response()
+
     def _send_json(self, status: int, payload, headers=()) -> None:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
         self.send_response(status)
@@ -82,6 +94,7 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes --------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802
+        self._chaos_hook()
         parts = urlsplit(self.path)
         route = parts.path.rstrip("/") or "/"
         try:
@@ -118,6 +131,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": str(exc)})
 
     def do_POST(self) -> None:  # noqa: N802
+        self._chaos_hook()
         route = urlsplit(self.path).path.rstrip("/")
         if route == "/jobs":
             self._submit()
@@ -136,6 +150,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": f"no route {route!r}"})
 
     def do_DELETE(self) -> None:  # noqa: N802
+        self._chaos_hook()
         route = urlsplit(self.path).path.rstrip("/")
         if not route.startswith("/jobs/"):
             self._send_json(404, {"error": f"no route {route!r}"})
@@ -234,12 +249,22 @@ class CampaignServer:
         max_queued: int = 64,
         pool_kwargs: Optional[Dict[str, object]] = None,
         verbose: bool = False,
+        journal_dir: Optional[str] = None,
+        fsync: str = "always",
+        fsync_interval: float = 1.0,
+        checkpoint_max_age: float = 7 * 86400.0,
+        chaos=None,
     ) -> None:
         self.engine = JobEngine(
             shards=shards,
             pool_workers=pool_workers,
             max_queued=max_queued,
             pool_kwargs=pool_kwargs,
+            journal_dir=journal_dir,
+            fsync=fsync,
+            fsync_interval=fsync_interval,
+            checkpoint_max_age=checkpoint_max_age,
+            chaos=chaos,
         )
         try:
             self._httpd = ThreadingHTTPServer((host, port), _Handler)
@@ -285,6 +310,33 @@ class CampaignServer:
         self.engine.close(drain=True)
         self._httpd.shutdown()
 
+    def install_signal_handlers(self) -> None:
+        """Route ``SIGTERM``/``SIGINT`` through the graceful-drain path.
+
+        A supervised ``repro serve`` gets the exact ``POST /shutdown``
+        semantics on termination signals: stop admitting, let queued and
+        running jobs finish (their results reach the journal), then stop
+        serving.  The drain runs on a daemon thread because
+        ``httpd.shutdown()`` deadlocks when called from ``serve_forever``'s
+        own thread -- and signal handlers run on the main thread, which
+        is exactly that thread in the CLI path.  Idempotent under signal
+        storms: only the first signal starts a drain.
+        """
+        started = threading.Event()
+
+        def _handler(_signum, _frame) -> None:
+            if started.is_set():
+                return
+            started.set()
+            threading.Thread(
+                target=self._drain_and_stop,
+                name="repro-serve-signal-drain",
+                daemon=True,
+            ).start()
+
+        signal.signal(signal.SIGTERM, _handler)
+        signal.signal(signal.SIGINT, _handler)
+
     def close(self) -> None:
         """Graceful teardown: drain the engine, stop the HTTP loop."""
         if self._closed:
@@ -311,6 +363,8 @@ def serve(
     pool_workers: int = 2,
     max_queued: int = 64,
     verbose: bool = True,
+    journal_dir: Optional[str] = None,
+    fsync: str = "always",
 ) -> CampaignServer:
     """Build a :class:`CampaignServer` with CLI-friendly defaults."""
     return CampaignServer(
@@ -320,4 +374,6 @@ def serve(
         pool_workers=pool_workers,
         max_queued=max_queued,
         verbose=verbose,
+        journal_dir=journal_dir,
+        fsync=fsync,
     )

@@ -33,6 +33,17 @@ linking the library and owning one in-process pool:
   queued and running job finish, then shuts the pools down;
   ``drain=False`` cancels the queue and only waits for the in-flight
   jobs.
+* **Durability (opt-in).**  ``journal_dir=`` arms a write-ahead job
+  journal (:mod:`repro.service.journal`): every submission, state
+  transition and canonical result is appended (and fsynced per policy)
+  *before* the in-memory state reflects it.  A restarted engine replays
+  the journal -- completed results and the dedupe table come back
+  verbatim, jobs that were queued or running when the process died are
+  requeued (their campaigns resume from per-job
+  :class:`~repro.faults.checkpoint.CampaignCheckpoint` snapshots under
+  ``<journal_dir>/checkpoints/``, which startup also garbage-collects)
+  -- so a ``kill -9`` mid-sweep loses no admitted job and double-reports
+  none.
 
 Everything here is deterministic where it matters: the *record* a job
 produces is a pure function of its member and config (see
@@ -49,6 +60,7 @@ import hashlib
 import heapq
 import itertools
 import json
+import os
 import threading
 import time
 import traceback
@@ -56,9 +68,11 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from ..exceptions import AdmissionError, PoolClosed, ReproError
+from ..faults.chaos import ChaosState, service_generation
 from ..fsm import kiss
 from ..suite import corpus as corpus_mod
 from ..suite.sweep import SweepConfig, sweep_member
+from .journal import JobJournal
 
 __all__ = ["AdhocMember", "Job", "JobEngine", "job_payload_key"]
 
@@ -216,6 +230,11 @@ class JobEngine:
         max_queued: int = 64,
         retention: int = _DEFAULT_RETENTION,
         pool_kwargs: Optional[Dict[str, object]] = None,
+        journal_dir: Optional[str] = None,
+        fsync: str = "always",
+        fsync_interval: float = 1.0,
+        checkpoint_max_age: float = 7 * 86400.0,
+        chaos=None,
     ) -> None:
         if shards < 1:
             raise ReproError(f"job engine needs >= 1 shard, got {shards}")
@@ -252,6 +271,42 @@ class JobEngine:
         self._shard_telemetry: List[Optional[Dict[str, object]]] = [
             None
         ] * shards
+        # Service-scope chaos (kill_server / torn_tail / http_stall);
+        # generation-gated through the environment so a supervisor's
+        # restart runs recovery chaos-free.
+        self.chaos_state = ChaosState(
+            chaos, scope="service", worker_index=0,
+            generation=service_generation(),
+        )
+        # Durability: checkpoint GC, then journal replay, both before the
+        # shard threads can observe (or race) any restored state.
+        self.journal: Optional[JobJournal] = None
+        self._checkpoint_dir: Optional[str] = None
+        self.recovery: Dict[str, object] = {
+            "replayed_records": 0,
+            "restored_done": 0,
+            "restored_failed": 0,
+            "restored_cancelled": 0,
+            "requeued": 0,
+            "torn_tail": False,
+            "checkpoints_removed": 0,
+        }
+        if journal_dir is not None:
+            from ..faults.checkpoint import CampaignCheckpoint
+
+            os.makedirs(journal_dir, exist_ok=True)
+            self._checkpoint_dir = os.path.join(journal_dir, "checkpoints")
+            swept = CampaignCheckpoint.gc(
+                self._checkpoint_dir, max_age=checkpoint_max_age
+            )
+            self.recovery["checkpoints_removed"] = len(swept["removed"])
+            self.journal = JobJournal(
+                os.path.join(journal_dir, "journal.jsonl"),
+                fsync=fsync,
+                fsync_interval=fsync_interval,
+                chaos=self.chaos_state if self.chaos_state.armed else None,
+            )
+            self._replay_journal()
         self._pools = []
         if pool_workers:
             from ..faults.pool import CampaignPool
@@ -273,6 +328,128 @@ class JobEngine:
         ]
         for thread in self._threads:
             thread.start()
+
+    # -- durability ----------------------------------------------------------
+
+    def _journal_append(self, kind: str, data: Dict[str, object],
+                        required: bool = True) -> None:
+        """Write-ahead append; ``required=False`` tolerates append
+        failure (the in-memory transition proceeds and the journal is
+        merely behind -- replay then errs towards requeueing, never
+        towards losing an observable result)."""
+        if self.journal is None:
+            return
+        try:
+            self.journal.append(kind, data)
+        except (OSError, ReproError):
+            if required:
+                raise
+            self.stats["journal_errors"] = (
+                self.stats.get("journal_errors", 0) + 1
+            )
+
+    def _replay_journal(self) -> None:
+        """Rebuild job state from the journal (constructor-only: runs
+        before the shard threads start, so no locking is needed).
+
+        Completed jobs come back verbatim -- record, error, dedupe-table
+        entry -- and jobs that were queued or running when the process
+        died are requeued in their original submission order with their
+        original priorities.  :exc:`~repro.exceptions.JournalCorrupt`
+        propagates (the journal quarantines itself first).
+        """
+        replay = self.journal.replay()
+        self.recovery["replayed_records"] = len(replay.records)
+        self.recovery["torn_tail"] = replay.torn_tail
+        restored: Dict[str, Job] = {}
+        order: List[str] = []
+        seqs: Dict[str, int] = {}
+        max_seq = -1
+        unresolved = 0
+        for entry in replay.records:
+            data = entry.data
+            if entry.kind == "submit":
+                try:
+                    member, subject_sha = resolve_member(data["subject"])
+                    config = SweepConfig.from_dict(dict(data["config"]))
+                except (ReproError, KeyError, TypeError, ValueError):
+                    # The subject no longer resolves (corpus drift, a
+                    # config field from a different version): drop the
+                    # job rather than refuse to boot -- a client still
+                    # polling it gets a 404 and resubmits.
+                    unresolved += 1
+                    continue
+                job = Job(
+                    job_id=str(data["job"]),
+                    key=str(data["key"]),
+                    subject_sha256=subject_sha,
+                    member=member,
+                    config=config,
+                    priority=int(data.get("priority", 0)),
+                    shard=int(subject_sha[:16], 16) % self.shards,
+                )
+                submitted = data.get("submitted_unix")
+                if isinstance(submitted, (int, float)):
+                    job.submitted_unix = float(submitted)
+                seq = int(data.get("seq", 0))
+                seqs[job.job_id] = seq
+                max_seq = max(max_seq, seq)
+                restored[job.job_id] = job
+                order.append(job.job_id)
+            elif entry.kind == "state":
+                job = restored.get(str(data.get("job")))
+                state = data.get("state")
+                if job is not None and state in (RUNNING, CANCELLED):
+                    job.state = state
+                    if state == CANCELLED:
+                        job.finished_unix = data.get("unix")
+            elif entry.kind == "result":
+                job = restored.get(str(data.get("job")))
+                if job is not None:
+                    state = data.get("state")
+                    job.state = state if state in (DONE, FAILED) else FAILED
+                    job.record = data.get("record")
+                    error = data.get("error")
+                    job.error = None if error is None else str(error)
+                    job.finished_unix = data.get("unix")
+        if unresolved:
+            self.recovery["unresolved"] = unresolved
+
+        for job_id in order:
+            job = restored[job_id]
+            self._jobs[job_id] = job
+            self.stats["submitted"] += 1
+            if job.state == DONE:
+                self._by_key[job.key] = job_id
+                self.stats["completed"] += 1
+                self.recovery["restored_done"] += 1
+                self._note_finished(job)
+            elif job.state == FAILED:
+                self.stats["failed"] += 1
+                self.recovery["restored_failed"] += 1
+                self._note_finished(job)
+            elif job.state == CANCELLED:
+                self.stats["cancelled"] += 1
+                self.recovery["restored_cancelled"] += 1
+                self._note_finished(job)
+            else:
+                # Queued -- or running when the process died, which the
+                # write-ahead ordering makes indistinguishable from "not
+                # finished": requeue with the original seq so FIFO within
+                # a priority survives the restart.  An interrupted
+                # campaign resumes from its checkpoint snapshot.
+                job.state = QUEUED
+                job.started_unix = None
+                heapq.heappush(
+                    self._heaps[job.shard],
+                    (-job.priority, seqs.get(job_id, 0), job_id),
+                )
+                self._by_key[job.key] = job_id
+                self._queued += 1
+                self.recovery["requeued"] = (
+                    int(self.recovery["requeued"]) + 1
+                )
+        self._seq = itertools.count(max_seq + 1)
 
     # -- submission ----------------------------------------------------------
 
@@ -297,6 +474,15 @@ class JobEngine:
         key = job_payload_key(
             getattr(member, "member_id", member.name), subject_sha, config
         )
+        if "member" in payload:
+            subject_payload: Dict[str, object] = {
+                "member": dict(payload["member"])
+            }
+        else:
+            subject_payload = {
+                "kiss": payload["kiss"],
+                "name": str(payload.get("name", "machine")),
+            }
         with self._cond:
             if self._closed:
                 raise PoolClosed("job engine is closed")
@@ -331,6 +517,23 @@ class JobEngine:
                 priority=int(priority),
                 shard=shard,
             )
+            # Write-ahead: the submission is durable before it becomes
+            # visible -- a failed append refuses the job (the client can
+            # retry) rather than admitting work that would vanish on
+            # restart.
+            self._journal_append(
+                "submit",
+                {
+                    "job": job.job_id,
+                    "key": key,
+                    "subject_sha256": subject_sha,
+                    "priority": job.priority,
+                    "seq": seq,
+                    "subject": subject_payload,
+                    "config": config.to_dict(),
+                    "submitted_unix": round(job.submitted_unix, 3),
+                },
+            )
             self._jobs[job.job_id] = job
             self._by_key[key] = job.job_id
             heapq.heappush(self._heaps[shard], (-job.priority, seq, job.job_id))
@@ -363,6 +566,14 @@ class JobEngine:
             if job is None:
                 raise ReproError(f"unknown job {job_id!r}")
             if job.state == QUEUED:
+                self._journal_append(
+                    "state",
+                    {
+                        "job": job.job_id,
+                        "state": CANCELLED,
+                        "unix": round(time.time(), 3),
+                    },
+                )
                 job.state = CANCELLED
                 job.finished_unix = time.time()
                 self._queued -= 1
@@ -460,39 +671,74 @@ class JobEngine:
                 job.started_unix = time.time()
                 self._queued -= 1
                 self._running += 1
+            # Best-effort transition record: losing it merely requeues
+            # the job on restart, which the terminal-result write-ahead
+            # below makes safe anyway.
+            self._journal_append(
+                "state",
+                {
+                    "job": job.job_id,
+                    "state": RUNNING,
+                    "unix": round(job.started_unix, 3),
+                },
+                required=False,
+            )
             record = None
             error = None
             try:
-                record = sweep_member(job.member, job.config, pool)
+                extra: Dict[str, object] = {}
+                if self._checkpoint_dir is not None:
+                    extra["checkpoint"] = os.path.join(
+                        self._checkpoint_dir, f"{job.key}.ckpt"
+                    )
+                record = sweep_member(job.member, job.config, pool, **extra)
             # A failed job must transition to FAILED with its traceback
             # attached, never take the shard's executor thread down --
             # capturing everything here *is* the error path.
             except BaseException:  # repro-lint: disable=RL006
                 error = traceback.format_exc()
+            if record is not None:
+                if record.get("status") == "ok":
+                    final_state: str = DONE
+                    final_error: Optional[str] = None
+                else:
+                    # A structured campaign failure (ReproError --
+                    # including WorkerCrash/JobTimeout from the pool) is
+                    # already folded into the record by sweep_member;
+                    # surface it as a failed job rather than a hung or
+                    # "ok" one.
+                    final_state = FAILED
+                    final_error = str(record.get("error"))
+            else:
+                final_state = FAILED
+                final_error = error
+            # Write-ahead: the terminal outcome hits the journal before
+            # any client can observe it, so a crash after this point
+            # cannot double-run the job, and a crash before it requeues
+            # cleanly (the campaign resumes from its checkpoint).
+            self._journal_append(
+                "result",
+                {
+                    "job": job.job_id,
+                    "state": final_state,
+                    "record": record,
+                    "error": final_error,
+                    "unix": round(time.time(), 3),
+                },
+                required=False,
+            )
+            self.chaos_state.after_job_result()
             telemetry = self._capture_telemetry()
             with self._cond:
                 job.finished_unix = time.time()
                 self._running -= 1
                 self._shard_telemetry[shard] = telemetry
-                if record is not None:
-                    job.record = record
-                    if record.get("status") == "ok":
-                        job.state = DONE
-                        self.stats["completed"] += 1
-                    else:
-                        # A structured campaign failure (ReproError --
-                        # including WorkerCrash/JobTimeout from the pool)
-                        # is already folded into the record by
-                        # sweep_member; surface it as a failed job rather
-                        # than a hung or "ok" one.
-                        job.state = FAILED
-                        job.error = str(record.get("error"))
-                        self.stats["failed"] += 1
-                        if self._by_key.get(job.key) == job.job_id:
-                            del self._by_key[job.key]
+                job.record = record
+                job.state = final_state
+                job.error = final_error
+                if final_state == DONE:
+                    self.stats["completed"] += 1
                 else:
-                    job.state = FAILED
-                    job.error = error
                     self.stats["failed"] += 1
                     if self._by_key.get(job.key) == job.job_id:
                         del self._by_key[job.key]
@@ -553,7 +799,16 @@ class JobEngine:
             pool.stats_snapshot() if pool is not None else None
             for pool in self._pools
         ]
-        return {"service": service, "pools": pools, "campaigns": campaigns}
+        journal: Optional[Dict[str, object]] = None
+        if self.journal is not None:
+            journal = self.journal.stats_snapshot()
+            journal["recovery"] = dict(self.recovery)
+        return {
+            "service": service,
+            "pools": pools,
+            "campaigns": campaigns,
+            "journal": journal,
+        }
 
     def drain(self) -> None:
         """Stop admitting; existing jobs keep running (half of ``close``)."""
@@ -598,6 +853,8 @@ class JobEngine:
         for pool in self._pools:
             if pool is not None:
                 pool.close()
+        if self.journal is not None:
+            self.journal.close()
 
     def __enter__(self) -> "JobEngine":
         return self

@@ -208,7 +208,9 @@ def _static_block(controller) -> Dict[str, object]:
     }
 
 
-def sweep_member(member, config: SweepConfig, pool=None) -> Dict[str, object]:
+def sweep_member(
+    member, config: SweepConfig, pool=None, checkpoint: Optional[str] = None
+) -> Dict[str, object]:
     """Synthesis→BIST campaign on one corpus member; one metrics record.
 
     This is the unit of work shared by the in-process sweep loop and the
@@ -219,6 +221,11 @@ def sweep_member(member, config: SweepConfig, pool=None) -> Dict[str, object]:
     config fields, never of who ran the campaign.  ``member`` is anything
     with the :class:`~repro.suite.corpus.CorpusMember` duck surface
     (``member_id``/``family``/``name``/``kind``/``build()``/``sha256()``).
+    ``checkpoint`` names a crash-safe campaign snapshot file (see
+    :class:`~repro.faults.checkpoint.CampaignCheckpoint`): like the
+    wall-clock knobs it cannot change the record -- resume is
+    bit-identical -- it only lets an interrupted campaign avoid
+    recomputing finished fault outcomes.
     """
     from ..bist import build_conventional_bist, build_pipeline
     from ..faults import measure_coverage
@@ -273,6 +280,7 @@ def sweep_member(member, config: SweepConfig, pool=None) -> Dict[str, object]:
                 pool=pool,
                 collapse=config.collapse,
                 prescreen=config.prescreen,
+                checkpoint=checkpoint,
             )
             wall["coverage_s"] = round(time.perf_counter() - start, 4)
             record["coverage"] = {

@@ -310,3 +310,41 @@ class TestCoveragePrescreen:
         )
         assert code == 0
         assert (tmp_path / "out" / "metrics.jsonl").exists()
+
+
+class TestCheckpointGc:
+    def test_sweeps_stale_and_orphaned_snapshots(self, capsys, tmp_path):
+        import json
+        import os
+        import time
+
+        directory = tmp_path / "checkpoints"
+        directory.mkdir()
+        key = "ab" * 32
+        keep = directory / f"{key}.ckpt"
+        keep.write_text(
+            json.dumps(
+                {"version": 1, "key": key, "total": 2, "codes": [1, -1]}
+            )
+        )
+        stale = directory / ("cd" * 32 + ".ckpt")
+        stale.write_text(keep.read_text())
+        old = time.time() - 10 * 86400
+        os.utime(stale, (old, old))
+        orphan = directory / "dead.ckpt.tmp.999"
+        orphan.write_text("half")
+        code, out, _ = run_cli(
+            capsys, "checkpoint-gc", str(directory), "--verbose"
+        )
+        assert code == 0
+        assert "2 removed, 1 kept" in out
+        assert orphan.name in out and stale.name in out
+        assert keep.exists()
+        assert not stale.exists() and not orphan.exists()
+
+    def test_missing_directory_reports_nothing_swept(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys, "checkpoint-gc", str(tmp_path / "nope")
+        )
+        assert code == 0
+        assert "0 removed, 0 kept" in out
